@@ -1,0 +1,105 @@
+// Ablation 1: what the inhomogeneity compensation (the paper's b-tilde,
+// equations (2)-(5)) and Algorithm 1 (optimal weights) buy.
+//
+// For configurations where some bin is too large for its suffix, we report
+// the exact per-bin deviation from the fair share with the compensation ON
+// and OFF, and -- for infeasible configurations -- with the capacity
+// adjustment ON and OFF.
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "bench/bench_common.hpp"
+#include "src/core/redundant_share.hpp"
+
+namespace {
+
+using namespace rds;
+using namespace rds::bench;
+
+double max_deviation(const RedundantShare& s) {
+  const std::vector<double> expected = s.exact_expected_copies();
+  const std::span<const double> adjusted = s.adjusted_capacities();
+  const double total = std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double target =
+        static_cast<double>(s.replication()) * adjusted[i] / total;
+    worst = std::max(worst, std::abs(expected[i] - target) / target);
+  }
+  return worst;
+}
+
+void row(const std::vector<std::uint64_t>& caps, unsigned k) {
+  const ClusterConfig config = cluster_of(caps);
+  RedundantShare::Options on;
+  RedundantShare::Options off;
+  off.apply_adjustment = false;
+
+  std::ostringstream desc;
+  desc << "{";
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    desc << (i ? "," : "") << caps[i];
+  }
+  desc << "}";
+  std::cout << cell(desc.str(), 22) << cell(std::to_string(k), 4)
+            << cell(100.0 * max_deviation(RedundantShare(config, k, on)), 16,
+                    6)
+            << cell(100.0 * max_deviation(RedundantShare(config, k, off)), 16,
+                    4)
+            << '\n';
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation 1: the inhomogeneity compensation (b-tilde)");
+  std::cout << "max relative deviation from the fair share, exact law (%):\n\n"
+            << cell("capacities", 22) << cell("k", 4)
+            << cell("with fix (%)", 16) << cell("without fix (%)", 16)
+            << '\n';
+
+  row({3, 3, 1, 1}, 2);
+  row({4, 4, 4, 1, 1}, 2);
+  row({5, 4, 4, 1, 1}, 2);
+  row({9, 9, 9, 2, 1, 1}, 2);
+  row({3, 2, 2, 2, 1}, 3);     // cascaded clamp: needs the general fix
+  row({5, 4, 3, 2, 1, 1}, 3);
+  row({6, 5, 4, 3, 2, 1, 1}, 4);
+  row({5, 4, 3, 2, 1}, 2);     // homogeneous enough: fix is a no-op
+
+  std::cout << "\nexpected: 0% with the fix everywhere; up to several percent"
+            << " without it on inhomogeneous rows, 0% on the last row\n";
+
+  header("Ablation 1b: Algorithm 1 (optimal weights) on infeasible systems");
+  std::cout << "capacities {10,1,1}, k = 2: raw capacities are an impossible"
+            << " target\n(the big bin cannot hold >1 copy per ball);"
+            << " Algorithm 1 clamps to the usable {2,1,1}.\n\n";
+  {
+    const ClusterConfig config = cluster_of({10, 1, 1});
+    RedundantShare::Options raw;
+    raw.apply_optimal_weights = false;
+    const RedundantShare with(config, 2);
+    const RedundantShare without(config, 2, raw);
+    const std::vector<double> ew = with.exact_expected_copies();
+    const std::vector<double> eo = without.exact_expected_copies();
+    std::cout << cell("bin", 6) << cell("raw cap", 10) << cell("usable", 10)
+              << cell("with Alg.1", 12) << cell("without", 12)
+              << cell("physical max", 14) << '\n';
+    const double raw_caps[] = {10, 1, 1};
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::cout << cell(static_cast<std::uint64_t>(i), 6)
+                << cell(raw_caps[i], 10, 0)
+                << cell(with.adjusted_capacities()[i], 10, 0)
+                << cell(ew[i], 12, 4) << cell(eo[i], 12, 4)
+                << cell(1.0, 14, 1) << '\n';
+    }
+    std::cout << "\nnote: the selection chain's min(1, .) self-clamps, so the"
+              << " PLACEMENT is the\nsame either way here -- what Algorithm 1"
+              << " contributes is the capacity accounting\n(usable = 4, max"
+              << " 2 balls, Lemma 2.2) and exact moment-matching targets"
+              << "\n(fairness_residual = 0 instead of an unachievable"
+              << " 10:1:1 target)\n";
+  }
+  return 0;
+}

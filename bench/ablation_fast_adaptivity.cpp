@@ -1,0 +1,63 @@
+// Ablation 2: adaptivity cost of the O(k log n) variant (Section 3.3).
+//
+// FastRedundantShare realizes the identical placement *distribution* but
+// couples the random choices differently: one uniform per level
+// (inverse-CDF sampling) instead of one uniform per (bin, level)
+// experiment.  When the configuration changes, the inverse-CDF coupling
+// shifts more mass than the per-bin experiments, so the fast variant pays
+// for its speed with extra migration traffic.  This benchmark quantifies
+// the trade-off the paper's Section 3.3 leaves implicit ("fairness and
+// adaptivity are granted by the hash functions").
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/fast_redundant_share.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/movement.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace {
+
+using namespace rds;
+using namespace rds::bench;
+
+template <typename Strategy>
+MovementReport run(const ClusterConfig& before, const ClusterConfig& after,
+                   unsigned k, std::uint64_t balls) {
+  const Strategy sb(before, k);
+  const Strategy sa(after, k);
+  return diff_placements(BlockMap(sb, balls), BlockMap(sa, balls));
+}
+
+}  // namespace
+
+int main() {
+  header("Ablation 2: adaptivity of LinMirror vs the O(k log n) variant");
+  std::cout << cell("k", 4) << cell("edit", 18) << cell("slow moved", 12)
+            << cell("fast moved", 12) << cell("optimal", 10)
+            << cell("slow ratio", 12) << cell("fast ratio", 12) << '\n';
+
+  constexpr std::uint64_t kBalls = 60'000;
+  const ClusterConfig base = paper_heterogeneous_base();
+
+  for (const unsigned k : {2u, 4u}) {
+    for (const EditKind kind :
+         {EditKind::kAddBiggest, EditKind::kAddSmallest,
+          EditKind::kRemoveBiggest, EditKind::kRemoveSmallest}) {
+      const EditResult edit = apply_edit(base, kind, 1000, 100'000);
+      const MovementReport slow =
+          run<RedundantShare>(base, edit.config, k, kBalls);
+      const MovementReport fast =
+          run<FastRedundantShare>(base, edit.config, k, kBalls);
+      std::cout << cell(std::to_string(k), 4) << cell(to_string(kind), 18)
+                << cell(slow.moved_set, 12) << cell(fast.moved_set, 12)
+                << cell(slow.optimal_moves, 10)
+                << cell(slow.competitive_set(), 12, 3)
+                << cell(fast.competitive_set(), 12, 3) << '\n';
+    }
+  }
+  std::cout << "\nexpected: identical fairness (not shown), but the fast"
+            << " variant moves more copies per edit\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+
+namespace rds::bench {
+
+inline void header(const std::string& title) {
+  std::cout << '\n'
+            << "==== " << title << " ====" << '\n';
+}
+
+inline void subheader(const std::string& title) {
+  std::cout << "-- " << title << '\n';
+}
+
+/// Fixed-width cell helpers.
+inline std::string cell(const std::string& s, int w = 14) {
+  std::string out = s;
+  if (static_cast<int>(out.size()) < w) {
+    out.insert(0, static_cast<std::size_t>(w) - out.size(), ' ');
+  }
+  return out;
+}
+
+inline std::string cell(double v, int w = 14, int prec = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return cell(os.str(), w);
+}
+
+inline std::string cell(std::uint64_t v, int w = 14) {
+  return cell(std::to_string(v), w);
+}
+
+/// Cluster built from a capacity list, uids 0..n-1 (descending not
+/// required; ClusterConfig canonicalizes).
+inline ClusterConfig cluster_of(const std::vector<std::uint64_t>& caps) {
+  std::vector<Device> devices;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    devices.push_back({i, caps[i], "disk-" + std::to_string(i)});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+}  // namespace rds::bench

@@ -1,0 +1,84 @@
+// Extension experiment: erasure-coded virtual disk on Redundant Share.
+//
+// Section 3 of the paper argues that Redundant Share's copy identification
+// makes it usable under erasure codes.  This experiment exercises exactly
+// that: a VirtualDisk with RS(d+p) fragments placed by Redundant Share over
+// heterogeneous devices; one device crashes; the rebuild reconstructs the
+// lost fragments from the survivors.  Reported: storage overhead, rebuild
+// traffic, degraded-read counts -- mirroring (k = 3) as the baseline.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/storage/erasure/evenodd.hpp"
+#include "src/storage/erasure/rdp.hpp"
+#include "src/storage/virtual_disk.hpp"
+#include "src/util/random.hpp"
+
+namespace {
+
+using namespace rds;
+using namespace rds::bench;
+
+ClusterConfig pool() {
+  std::vector<Device> devices;
+  const std::uint64_t caps[] = {4000, 3500, 3000, 3000, 2500,
+                                2000, 2000, 1500, 1500, 1000};
+  for (std::size_t i = 0; i < 10; ++i) {
+    devices.push_back({i, caps[i], "disk-" + std::to_string(i)});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+Bytes payload(std::uint64_t block) {
+  Bytes b(256);
+  Xoshiro256 rng(block + 17);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng());
+  return b;
+}
+
+void run(std::shared_ptr<RedundancyScheme> scheme, const std::string& label) {
+  VirtualDisk disk(pool(), scheme);
+  constexpr std::uint64_t kBlocks = 1500;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) disk.write(b, payload(b));
+
+  // Crash the largest device and read everything in degraded mode.
+  disk.fail_device(0);
+  std::uint64_t ok = 0;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    if (disk.read(b) == payload(b)) ++ok;
+  }
+  const std::uint64_t rebuilt = disk.rebuild();
+  std::uint64_t ok_after = 0;
+  for (std::uint64_t b = 0; b < kBlocks; ++b) {
+    if (disk.read(b) == payload(b)) ++ok_after;
+  }
+  const VirtualDisk::Stats& s = disk.stats();
+  const double overhead =
+      static_cast<double>(s.fragments_written) *
+      (256.0 / scheme->min_fragments()) / (kBlocks * 256.0);
+
+  std::cout << cell(label, 20) << cell(ok, 10) << cell(ok_after, 10)
+            << cell(rebuilt, 10) << cell(s.bytes_moved, 12)
+            << cell(s.degraded_reads, 10) << cell(overhead, 10, 2)
+            << cell(disk.scrub().clean() ? "clean" : "DIRTY", 8) << '\n';
+}
+
+}  // namespace
+
+int main() {
+  header("Extension: erasure-coded rebuild over Redundant Share placement");
+  std::cout << cell("scheme", 20) << cell("ok(degr)", 10) << cell("ok(rebuilt)", 10)
+            << cell("rebuilt", 10) << cell("bytes moved", 12)
+            << cell("degr reads", 10) << cell("overhead", 10)
+            << cell("scrub", 8) << '\n';
+
+  run(std::make_shared<MirroringScheme>(3), "mirror(k=3)");
+  run(std::make_shared<ReedSolomonScheme>(4, 2), "RS(4+2)");
+  run(std::make_shared<ReedSolomonScheme>(6, 2), "RS(6+2)");
+  run(std::make_shared<EvenOddScheme>(5), "EVENODD(p=5)");
+  run(std::make_shared<RdpScheme>(7), "RDP(p=7)");
+
+  std::cout << "\nexpected: all blocks readable degraded and after rebuild;"
+            << " RS overhead 1.5x/1.33x vs 3x for mirroring\n";
+  return 0;
+}

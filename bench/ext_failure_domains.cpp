@@ -1,0 +1,73 @@
+// Extension experiment: failure-domain placement -- CRUSH's straw selection
+// vs hierarchical Redundant Share.
+//
+// Selecting k distinct failure domains by a straw (rendezvous top-k) race
+// is the paper's *trivial strategy* at domain granularity; with
+// heterogeneous domain sizes it under-serves the biggest domain and wastes
+// capacity exactly as Lemma 2.4 predicts.  Replacing the domain selection
+// with Redundant Share keeps the rack isolation and removes the loss.
+#include <iostream>
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "src/core/hierarchical.hpp"
+#include "src/placement/crush.hpp"
+#include "src/sim/block_map.hpp"
+
+namespace {
+
+using namespace rds;
+using namespace rds::bench;
+
+/// One rack holding `big_share` of the capacity + 4 equal small racks.
+std::vector<FailureDomain> racks(double big_share) {
+  const double small_total = 1.0 - big_share;
+  const auto big = static_cast<std::uint64_t>(8000.0 * big_share);
+  const auto small = static_cast<std::uint64_t>(8000.0 * small_total / 4.0);
+  std::vector<FailureDomain> domains;
+  domains.push_back(
+      {"big", {{1, big / 2, ""}, {2, big - big / 2, ""}}});
+  for (DeviceId r = 0; r < 4; ++r) {
+    domains.push_back({"small-" + std::to_string(r),
+                       {{10 + 2 * r, small / 2, ""},
+                        {11 + 2 * r, small - small / 2, ""}}});
+  }
+  return domains;
+}
+
+double big_rack_load(const ReplicationStrategy& s) {
+  constexpr std::uint64_t kBalls = 120'000;
+  const BlockMap map(s, kBalls);
+  return static_cast<double>(map.count_on(1) + map.count_on(2)) / kBalls;
+}
+
+}  // namespace
+
+int main() {
+  header("Extension: failure domains -- CRUSH straw vs hierarchical RS");
+  std::cout << "1 big rack + 4 small racks, k = 2; the big rack's fair load"
+            << " is min(1, 2*share)\ncopies per ball.  Straw selection"
+            << " (trivial draws) under-serves it.\n\n";
+  std::cout << cell("big-rack share", 16) << cell("fair load", 12)
+            << cell("crush", 12) << cell("hier-RS", 12)
+            << cell("crush waste%", 14) << '\n';
+
+  for (const double share : {0.2, 0.3, 0.4, 0.5}) {
+    const auto domains = racks(share);
+    const CrushPlacement crush(domains, 2);
+    const HierarchicalRedundantShare hier(domains, 2);
+    const double fair = std::min(1.0, 2.0 * share);
+    const double crush_load = big_rack_load(crush);
+    const double hier_load = big_rack_load(hier);
+    std::cout << cell(share, 16, 2) << cell(fair, 12, 4)
+              << cell(crush_load, 12, 4) << cell(hier_load, 12, 4)
+              << cell(100.0 * (fair - crush_load) / fair, 14, 2) << '\n';
+  }
+
+  std::cout << "\nboth strategies always separate the two copies across"
+            << " racks; only the\nload (hence usable capacity) differs."
+            << "  expected: hier-RS == fair on every row;\ncrush wastes up"
+            << " to ~22% of the big rack at share 0.5 (Figure 1 at rack"
+            << " scale)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 2 reproduction: LinMirror (k = 2) fairness across the paper's
+// five-phase disk evolution.
+//
+// Start with 8 heterogeneous disks of 500k..1.2M blocks (steps of 100k);
+// add two pairs continuing the ladder (1.3M/1.4M, 1.5M/1.6M); then twice
+// remove the two smallest disks.  After each phase, store blocks to ~60% of
+// the (usable) capacity and report the fill level of every disk -- a fair
+// strategy fills every disk to the same percentage.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/fairness_report.hpp"
+#include "src/sim/movement.hpp"
+#include "src/sim/scenario.hpp"
+
+int main() {
+  using namespace rds;
+  using namespace rds::bench;
+
+  header("Figure 2: distribution fairness for heterogeneous bins, k = 2");
+  std::cout << "paper: every phase shows all disks filled to the same height"
+            << " (perfectly fair)\n";
+
+  constexpr unsigned kK = 2;
+  constexpr double kFill = 0.60;
+
+  std::unique_ptr<RedundantShare> previous;
+  std::uint64_t previous_balls = 0;
+  for (const ScenarioPhase& phase : paper_figure2_phases()) {
+    auto strategy = std::make_unique<RedundantShare>(phase.config, kK);
+    double usable = 0.0;
+    for (const double c : strategy->adjusted_capacities()) usable += c;
+    const auto balls = static_cast<std::uint64_t>(kFill * usable / kK);
+    const BlockMap map(*strategy, balls);
+    const FairnessReport report =
+        fairness_report(phase.config, strategy->adjusted_capacities(), map);
+    report.print(std::cout,
+                 phase.label + "  (" + std::to_string(balls) + " blocks)");
+    if (previous) {
+      // Migration cost of the transition, over the blocks both phases hold.
+      const std::uint64_t common = std::min(previous_balls, balls);
+      const MovementReport moved = diff_placements(
+          BlockMap(*previous, common), BlockMap(*strategy, common));
+      std::cout << "  transition moved " << std::fixed
+                << std::setprecision(1) << 100.0 * moved.moved_set_fraction()
+                << "% of copies (theoretical minimum "
+                << 100.0 * static_cast<double>(moved.optimal_moves) /
+                       static_cast<double>(moved.total_copies)
+                << "%)\n";
+    }
+    previous = std::move(strategy);
+    previous_balls = balls;
+  }
+  std::cout << "\nexpected: fill% equal across disks within each phase"
+            << " (sampling noise well under 1%);\ntransition movement close"
+            << " to the capacity delta, never a reshuffle\n";
+  return 0;
+}

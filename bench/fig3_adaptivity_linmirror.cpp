@@ -1,0 +1,90 @@
+// Figure 3 reproduction: adaptivity of LinMirror (k = 2).
+//
+// Eight cases -- {heterogeneous, homogeneous} x {add, remove} x {biggest,
+// smallest}: store blocks, apply the edit, and count the blocks placed on
+// the affected bin ("used") versus the blocks that had to move ("replaced").
+// Paper: replaced/used ~ 1.5 when the biggest bin changes, ~ 2.5 when the
+// smallest bin changes; the factor stays nearly constant in the number of
+// bins (second experiment: add one bin to 4..60 homogeneous bins).
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/movement.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace {
+
+using namespace rds;
+using namespace rds::bench;
+
+constexpr unsigned kK = 2;
+constexpr std::uint64_t kBalls = 120'000;
+
+void run_case(const ClusterConfig& before, EditKind kind,
+              const std::string& env, std::uint64_t ladder_step) {
+  const EditResult edit = apply_edit(before, kind, /*new_uid=*/1000,
+                                     ladder_step);
+  const RedundantShare sb(before, kK);
+  const RedundantShare sa(edit.config, kK);
+  const BlockMap mb(sb, kBalls);
+  const BlockMap ma(sa, kBalls);
+  const MovementReport report = diff_placements(mb, ma);
+  std::uint64_t affected_used = ma.count_on(edit.affected);
+  if (affected_used == 0) affected_used = mb.count_on(edit.affected);
+
+  std::cout << cell(env, 8) << cell(to_string(kind), 18)
+            << cell(affected_used, 12) << cell(report.moved_set, 12)
+            << cell(replaced_per_used(report, mb, ma, edit.affected), 10, 3)
+            << cell(report.competitive_set(), 12, 3) << '\n';
+}
+
+}  // namespace
+
+int main() {
+  header("Figure 3: adaptivity of LinMirror (k = 2)");
+  std::cout << "paper: replaced/used ~1.5 for the biggest bin, ~2.5 for the"
+            << " smallest bin\n\n";
+
+  std::cout << cell("env", 8) << cell("edit", 18) << cell("used", 12)
+            << cell("replaced", 12) << cell("repl/used", 10)
+            << cell("moved/opt", 12) << '\n';
+
+  const ClusterConfig het = paper_heterogeneous_base();
+  const ClusterConfig hom = homogeneous_cluster(8, 850'000);
+  for (const EditKind kind :
+       {EditKind::kRemoveBiggest, EditKind::kRemoveSmallest,
+        EditKind::kAddBiggest, EditKind::kAddSmallest}) {
+    run_case(het, kind, "het", 100'000);
+  }
+  for (const EditKind kind :
+       {EditKind::kRemoveBiggest, EditKind::kRemoveSmallest,
+        EditKind::kAddBiggest, EditKind::kAddSmallest}) {
+    run_case(hom, kind, "hom", 0);
+  }
+
+  header("Figure 3b: replaced/used vs number of homogeneous bins (k = 2)");
+  std::cout << cell("bins", 8) << cell("add-biggest", 14)
+            << cell("add-smallest", 14) << '\n';
+  for (std::size_t n = 4; n <= 60; n += 8) {
+    const ClusterConfig base = homogeneous_cluster(n, 200'000);
+    double factors[2] = {0.0, 0.0};
+    const EditKind kinds[2] = {EditKind::kAddBiggest, EditKind::kAddSmallest};
+    for (int c = 0; c < 2; ++c) {
+      const EditResult edit =
+          apply_edit(base, kinds[c], 1000, c == 0 ? 100'000 : 50'000);
+      const RedundantShare sb(base, kK);
+      const RedundantShare sa(edit.config, kK);
+      const BlockMap mb(sb, 60'000);
+      const BlockMap ma(sa, 60'000);
+      const MovementReport report = diff_placements(mb, ma);
+      factors[c] = replaced_per_used(report, mb, ma, edit.affected);
+    }
+    std::cout << cell(static_cast<std::uint64_t>(n), 8)
+              << cell(factors[0], 14, 3) << cell(factors[1], 14, 3) << '\n';
+  }
+  std::cout << "\nexpected: biggest-bin column near-constant ~1.5;"
+            << " smallest-bin column ~2.5\n";
+  return 0;
+}

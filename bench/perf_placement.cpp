@@ -1,0 +1,106 @@
+// Placement-latency microbenchmarks (Section 3 prose: LinMirror /
+// k-replication run in O(n); the Section 3.3 variant in O(k) lookups --
+// O(k log n) in this implementation).
+//
+// Measures ns/placement across cluster sizes and replication degrees for
+// Redundant Share, the fast variant, and the single-copy substrates, plus
+// strategy (re)construction cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/fast_redundant_share.hpp"
+#include "src/core/precomputed_redundant_share.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/placement/consistent_hashing.hpp"
+#include "src/placement/rendezvous.hpp"
+#include "src/placement/share.hpp"
+#include "src/placement/sieve.hpp"
+#include "src/placement/trivial_replication.hpp"
+#include "src/placement/weighted_dht.hpp"
+#include "src/util/random.hpp"
+
+namespace {
+
+using namespace rds;
+
+ClusterConfig make_cluster(std::size_t n) {
+  Xoshiro256 rng(n * 1234567);
+  std::vector<Device> devices;
+  devices.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    devices.push_back({i, 500 + rng.next_below(2000), ""});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+template <typename Strategy>
+void bm_replicated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const ClusterConfig config = make_cluster(n);
+  const Strategy strategy(config, k);
+  std::vector<DeviceId> out(k);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    strategy.place(address++, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Strategy>
+void bm_single(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ClusterConfig config = make_cluster(n);
+  const Strategy strategy(config);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.place(address++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename Strategy>
+void bm_construction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const ClusterConfig config = make_cluster(n);
+  for (auto _ : state) {
+    const Strategy strategy(config, k);
+    benchmark::DoNotOptimize(&strategy);
+  }
+}
+
+void replicated_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t n : {10, 100, 1000}) {
+    for (const std::int64_t k : {2, 4}) {
+      b->Args({n, k});
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(bm_replicated, RedundantShare)->Apply(replicated_args);
+BENCHMARK_TEMPLATE(bm_replicated, FastRedundantShare)->Apply(replicated_args);
+BENCHMARK_TEMPLATE(bm_replicated, PrecomputedRedundantShare)
+    ->Apply(replicated_args);
+BENCHMARK_TEMPLATE(bm_replicated, TrivialReplication)->Apply(replicated_args);
+
+BENCHMARK_TEMPLATE(bm_single, WeightedRendezvous)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000);
+BENCHMARK_TEMPLATE(bm_single, ConsistentHashing)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK_TEMPLATE(bm_single, Share)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK_TEMPLATE(bm_single, Sieve)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK_TEMPLATE(bm_single, WeightedDht)->Arg(10)->Arg(100)->Arg(1000);
+
+BENCHMARK_TEMPLATE(bm_construction, RedundantShare)->Args({1000, 4});
+BENCHMARK_TEMPLATE(bm_construction, FastRedundantShare)->Args({1000, 4});
+BENCHMARK_TEMPLATE(bm_construction, PrecomputedRedundantShare)
+    ->Args({1000, 4});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Request-load fairness on a mixed-generation datacenter pool.
+//
+// Storage fairness is only half the story: the paper's fairness notion also
+// covers *requests* ("every storage device with x% of the capacity gets x%
+// of the data and the requests").  This example stores a dataset across
+// three device generations and replays a skewed (Zipf) read workload,
+// showing that per-device request load tracks capacity share -- including
+// for the hottest blocks, because placement is hash-random rather than
+// correlated with block popularity.
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "src/core/redundant_share.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/workload.hpp"
+
+int main() {
+  using namespace rds;
+
+  // Three generations: 2 x 8T, 4 x 4T, 6 x 2T.
+  std::vector<Device> devices;
+  DeviceId uid = 1;
+  for (int i = 0; i < 2; ++i) devices.push_back({uid++, 8000, "gen3"});
+  for (int i = 0; i < 4; ++i) devices.push_back({uid++, 4000, "gen2"});
+  for (int i = 0; i < 6; ++i) devices.push_back({uid++, 2000, "gen1"});
+  const ClusterConfig pool(std::move(devices));
+
+  constexpr unsigned kK = 3;
+  const RedundantShare strategy(pool, kK);
+
+  constexpr std::uint64_t kBlocks = 100'000;
+  const BlockMap map(strategy, kBlocks);
+
+  // Zipf-skewed reads: block 0 is the hottest.  A read hits one replica,
+  // chosen round-robin over the k copies (load spreading).
+  constexpr std::uint64_t kRequests = 2'000'000;
+  const ZipfGenerator zipf(kBlocks, 0.99);
+  Xoshiro256 rng(2026);
+  std::map<DeviceId, std::uint64_t> request_load;
+  for (std::uint64_t r = 0; r < kRequests; ++r) {
+    const std::uint64_t block = zipf.sample(rng);
+    const auto copies = map.copies(block);
+    request_load[copies[r % kK]] += 1;
+  }
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "requests: " << kRequests << " (zipf 0.99 over " << kBlocks
+            << " blocks), replicas " << kK << "\n\n";
+  std::cout << "  device   gen    capacity   storage%    requests%   fair%\n";
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const Device& d = pool[i];
+    const double storage = 100.0 *
+                           static_cast<double>(map.count_on(d.uid)) /
+                           static_cast<double>(map.total_copies());
+    const double requests = 100.0 *
+                            static_cast<double>(request_load[d.uid]) /
+                            static_cast<double>(kRequests);
+    const double fair = 100.0 * pool.relative_capacity(i);
+    std::cout << "  " << std::setw(6) << d.uid << "   " << d.name
+              << std::setw(10) << d.capacity << std::setw(11) << storage
+              << std::setw(12) << requests << std::setw(9) << fair << '\n';
+  }
+  std::cout << "\n(storage% and requests% both track fair% -- heterogeneous"
+            << " devices,\n fair data AND request distribution, as Section 1"
+            << " promises)\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "src/cluster/cluster_config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rds {
+
+ClusterConfig::ClusterConfig(std::vector<Device> devices)
+    : devices_(std::move(devices)) {
+  canonicalize();
+}
+
+void ClusterConfig::canonicalize() {
+  std::ranges::sort(devices_, [](const Device& a, const Device& b) {
+    if (a.capacity != b.capacity) return a.capacity > b.capacity;
+    return a.uid < b.uid;
+  });
+
+  std::unordered_set<DeviceId> seen;
+  seen.reserve(devices_.size());
+  for (const Device& d : devices_) {
+    if (d.capacity == 0) {
+      throw std::invalid_argument("ClusterConfig: device with zero capacity");
+    }
+    if (d.uid == kNoDevice) {
+      throw std::invalid_argument("ClusterConfig: reserved device uid");
+    }
+    if (!seen.insert(d.uid).second) {
+      throw std::invalid_argument("ClusterConfig: duplicate device uid");
+    }
+  }
+
+  suffix_.assign(devices_.size() + 1, 0);
+  for (std::size_t i = devices_.size(); i-- > 0;) {
+    suffix_[i] = suffix_[i + 1] + devices_[i].capacity;
+  }
+  total_capacity_ = suffix_.empty() ? 0 : suffix_[0];
+  ++version_;
+}
+
+double ClusterConfig::relative_capacity(std::size_t i) const noexcept {
+  if (total_capacity_ == 0) return 0.0;
+  return static_cast<double>(devices_[i].capacity) /
+         static_cast<double>(total_capacity_);
+}
+
+std::optional<std::size_t> ClusterConfig::index_of(DeviceId uid) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i].uid == uid) return i;
+  }
+  return std::nullopt;
+}
+
+void ClusterConfig::add_device(const Device& d) {
+  if (contains(d.uid)) {
+    throw std::invalid_argument("add_device: duplicate uid");
+  }
+  devices_.push_back(d);
+  canonicalize();
+}
+
+void ClusterConfig::remove_device(DeviceId uid) {
+  const auto idx = index_of(uid);
+  if (!idx) throw std::out_of_range("remove_device: unknown uid");
+  devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  canonicalize();
+}
+
+void ClusterConfig::resize_device(DeviceId uid, std::uint64_t new_capacity) {
+  const auto idx = index_of(uid);
+  if (!idx) throw std::out_of_range("resize_device: unknown uid");
+  devices_[*idx].capacity = new_capacity;
+  canonicalize();
+}
+
+std::vector<double> ClusterConfig::capacities() const {
+  std::vector<double> out;
+  out.reserve(devices_.size());
+  for (const Device& d : devices_) out.push_back(static_cast<double>(d.capacity));
+  return out;
+}
+
+}  // namespace rds

@@ -1,0 +1,3 @@
+#include "src/cluster/device.hpp"
+
+// Device is a plain aggregate; no out-of-line logic needed.

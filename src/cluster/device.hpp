@@ -1,0 +1,27 @@
+// Storage device description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rds {
+
+/// Stable identifier of a storage device.  Uids survive configuration
+/// changes; the placement hash experiments key on them, which is what makes
+/// placements stable when *other* devices come and go.
+using DeviceId = std::uint64_t;
+
+/// Sentinel for "no device".
+inline constexpr DeviceId kNoDevice = ~static_cast<DeviceId>(0);
+
+/// A storage device ("bin" in the paper): a stable uid plus a capacity
+/// measured in blocks ("balls").
+struct Device {
+  DeviceId uid = kNoDevice;
+  std::uint64_t capacity = 0;  ///< number of block copies this device holds
+  std::string name;            ///< human-readable label; optional
+
+  friend bool operator==(const Device&, const Device&) = default;
+};
+
+}  // namespace rds

@@ -1,0 +1,132 @@
+#include "src/core/capacity.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace rds {
+namespace {
+
+void validate_desc(std::span<const double> caps, unsigned k) {
+  if (k == 0) throw std::invalid_argument("capacity: k == 0");
+  if (caps.size() < k) {
+    throw std::invalid_argument("capacity: fewer bins than k");
+  }
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (caps[i] <= 0.0) {
+      throw std::invalid_argument("capacity: non-positive capacity");
+    }
+    if (i > 0 && caps[i] > caps[i - 1]) {
+      throw std::invalid_argument("capacity: not sorted descending");
+    }
+  }
+}
+
+}  // namespace
+
+bool capacity_efficient(std::span<const double> capacities, unsigned k) {
+  if (k == 0) throw std::invalid_argument("capacity_efficient: k == 0");
+  if (capacities.size() < k) return false;
+  double total = 0.0;
+  double biggest = 0.0;
+  for (const double c : capacities) {
+    if (c <= 0.0) {
+      throw std::invalid_argument("capacity_efficient: non-positive capacity");
+    }
+    total += c;
+    biggest = std::max(biggest, c);
+  }
+  return static_cast<double>(k) * biggest <= total;
+}
+
+std::vector<double> optimal_weights(std::span<const double> capacities_desc,
+                                    unsigned k) {
+  validate_desc(capacities_desc, k);
+  std::vector<double> b(capacities_desc.begin(), capacities_desc.end());
+  const std::size_t n = b.size();
+
+  // Suffix sums of the *adjusted* capacities.  We process prefix bins
+  // 0..k-2 from the innermost recursion outwards: the recursion
+  //   optimalWeights(k, start):
+  //     if b[start] violates, optimalWeights(k-1, start+1) first, then clamp
+  // touches at most bins start..start+(k-2) (each recursive level consumes
+  // one bin and one unit of k), so we can run it iteratively from the
+  // deepest level (replication degree 2) back to k.
+  //
+  // First compute the raw suffix sums; they are correct for the untouched
+  // tail bins (index >= k-1) which no recursion level ever clamps.
+  std::vector<double> suffix(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] + b[i];
+
+  // Determine how deep the recursion goes: level r handles bin (k - r).
+  // The clamp at level r happens iff  (r-1) * b[start] > suffix'(start+1).
+  // Process levels r = 2..k in that order (innermost first) so that each
+  // clamp sees the already-adjusted suffix.
+  for (unsigned r = 2; r <= k; ++r) {
+    const std::size_t start = k - r;  // bin this level may clamp
+    const double rest = suffix[start + 1];
+    if (static_cast<double>(r - 1) * b[start] > rest) {
+      b[start] = rest / static_cast<double>(r - 1);
+    }
+    suffix[start] = suffix[start + 1] + b[start];
+  }
+
+  // Clamping can only shrink values, and (see DESIGN.md) preserves the
+  // descending order; assert in debug builds.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (b[i] + 1e-9 * std::max(1.0, b[i]) < b[i + 1]) {
+      throw std::logic_error("optimal_weights: order violated");
+    }
+  }
+  return b;
+}
+
+double max_balls(std::span<const double> capacities_desc, unsigned k) {
+  const std::vector<double> adj = optimal_weights(capacities_desc, k);
+  double total = 0.0;
+  for (const double c : adj) total += c;
+  return total / static_cast<double>(k);
+}
+
+CapacityAnalysis analyze_capacity(std::span<const double> capacities_desc,
+                                  unsigned k) {
+  CapacityAnalysis out;
+  out.adjusted = optimal_weights(capacities_desc, k);
+  for (const double c : capacities_desc) out.raw_capacity += c;
+  for (const double c : out.adjusted) out.usable_capacity += c;
+  out.max_balls = out.usable_capacity / static_cast<double>(k);
+  out.feasible_unadjusted = capacity_efficient(capacities_desc, k);
+  return out;
+}
+
+std::optional<std::vector<std::uint64_t>> greedy_pack(
+    std::span<const std::uint64_t> capacities, unsigned k, std::uint64_t m) {
+  if (k == 0) throw std::invalid_argument("greedy_pack: k == 0");
+  if (capacities.size() < k) return std::nullopt;
+
+  // Max-heap of (remaining capacity, bin index).
+  using Entry = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    if (capacities[i] > 0) heap.push({capacities[i], i});
+  }
+
+  std::vector<std::uint64_t> placed(capacities.size(), 0);
+  std::vector<Entry> group;
+  group.reserve(k);
+  for (std::uint64_t ball = 0; ball < m; ++ball) {
+    if (heap.size() < k) return std::nullopt;  // cannot keep copies distinct
+    group.clear();
+    for (unsigned j = 0; j < k; ++j) {
+      group.push_back(heap.top());
+      heap.pop();
+    }
+    for (Entry& e : group) {
+      placed[e.second] += 1;
+      if (--e.first > 0) heap.push(e);
+    }
+  }
+  return placed;
+}
+
+}  // namespace rds

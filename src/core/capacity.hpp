@@ -1,0 +1,60 @@
+// Capacity-efficiency theory of Section 2 of the paper.
+//
+//  * Lemma 2.1: a system of bins with capacities b_0 >= ... >= b_{n-1} admits
+//    a *capacity-efficient* k-replication (every bin filled to its capacity,
+//    no two copies of a ball on one bin) iff  k * b_0 <= sum_i b_i.
+//  * Algorithm 1 / Lemma 2.2: if the condition fails, the *adjusted*
+//    capacities b'_i -- computed by recursively clamping the largest bin to
+//    1/(k-1) of the (adjusted) rest -- are the usable capacities, and the
+//    maximum number of storable balls is  B_max = sum_i b'_i / k.
+//  * The constructive greedy packer from the proof of Lemma 2.1: repeatedly
+//    place one ball's k copies on the k bins of largest remaining capacity.
+//
+// All placement strategies in src/core consume the adjusted capacities, so
+// fairness targets are always relative to *usable* capacity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+/// True iff the capacities (any order) admit a capacity-efficient
+/// k-replication: k * max_i b_i <= sum_i b_i  (Lemma 2.1).
+[[nodiscard]] bool capacity_efficient(std::span<const double> capacities,
+                                      unsigned k);
+
+/// Algorithm 1: adjusted capacities b'_i.  Input must be sorted descending;
+/// output is sorted descending, b'_i <= b_i, and k * b'_0 <= sum b'_i.
+/// Runs in O(k + n) using suffix sums.  Throws on k == 0, k > n, or
+/// non-positive / unsorted input.
+[[nodiscard]] std::vector<double> optimal_weights(
+    std::span<const double> capacities_desc, unsigned k);
+
+/// Lemma 2.2: maximum number of balls storable under k-replication,
+/// sum_i b'_i / k (may be fractional; floor it for whole balls).
+[[nodiscard]] double max_balls(std::span<const double> capacities_desc,
+                               unsigned k);
+
+/// Everything the placement layer needs in one shot.
+struct CapacityAnalysis {
+  std::vector<double> adjusted;    ///< b'_i, same (descending) order as input
+  double usable_capacity = 0.0;    ///< sum of adjusted
+  double raw_capacity = 0.0;       ///< sum of input
+  double max_balls = 0.0;          ///< usable_capacity / k
+  bool feasible_unadjusted = false;  ///< Lemma 2.1 holds without clamping
+};
+
+[[nodiscard]] CapacityAnalysis analyze_capacity(
+    std::span<const double> capacities_desc, unsigned k);
+
+/// Constructive packer from the proof of Lemma 2.1: for each of `m` balls,
+/// place the k copies on the k bins of largest remaining capacity.  Returns
+/// the per-bin counts (aligned with the input) if all m balls fit without
+/// violating redundancy, std::nullopt otherwise.  O(m log n + n).
+[[nodiscard]] std::optional<std::vector<std::uint64_t>> greedy_pack(
+    std::span<const std::uint64_t> capacities, unsigned k, std::uint64_t m);
+
+}  // namespace rds

@@ -1,0 +1,80 @@
+#include "src/core/fast_redundant_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+namespace {
+
+constexpr std::uint64_t kLevelSalt = 0xFA57C0DEULL;  // per-level tail sample
+
+}  // namespace
+
+FastRedundantShare::FastRedundantShare(const ClusterConfig& config, unsigned k)
+    : FastRedundantShare(config, k, RedundantShare::Options{}) {}
+
+FastRedundantShare::FastRedundantShare(const ClusterConfig& config, unsigned k,
+                                       RedundantShare::Options opt)
+    : tables_(detail::RsTables::build(config, k, opt.apply_optimal_weights,
+                                      opt.apply_adjustment)) {
+  const std::size_t n = tables_.size();
+  log_survival_.resize(k);
+  next_absorbing_.resize(k);
+  for (unsigned m = 1; m <= k; ++m) {
+    std::vector<double>& ls = log_survival_[m - 1];
+    std::vector<std::size_t>& na = next_absorbing_[m - 1];
+    ls.assign(n + 1, 0.0);
+    na.assign(n + 1, n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double f = tables_.f(m, j);
+      ls[j + 1] = ls[j] + (f >= 1.0 ? 0.0 : std::log1p(-f));
+    }
+    for (std::size_t j = n; j-- > 0;) {
+      na[j] = tables_.f(m, j) >= 1.0 ? j : na[j + 1];
+    }
+  }
+}
+
+std::size_t FastRedundantShare::sample_selection(unsigned m, std::size_t start,
+                                                 std::uint64_t address) const {
+  const std::vector<double>& ls = log_survival_[m - 1];
+  const std::size_t a = next_absorbing_[m - 1][start];
+  if (a >= tables_.size()) {
+    // No absorbing column from `start`: the invariant "f(m, j) == 1 when
+    // only m bins remain" was violated upstream.
+    throw std::logic_error("FastRedundantShare: no absorbing column");
+  }
+  if (a == start) return start;  // forced selection
+
+  const double u = to_unit(hash3(address, kLevelSalt, m));
+  // Selection at i  iff  survival(start -> i+1) <= 1-u < survival(start->i).
+  // In log space over the absorbing-free window (start, a]: the first
+  // column l with ls[l] <= ls[start] + log(1-u); if none, the absorbing
+  // column takes the selection.
+  const double threshold = ls[start] + std::log1p(-u);
+  const auto first = ls.begin() + static_cast<std::ptrdiff_t>(start) + 1;
+  const auto last = ls.begin() + static_cast<std::ptrdiff_t>(a) + 1;
+  const auto it = std::partition_point(
+      first, last, [threshold](double v) { return v > threshold; });
+  if (it == last) return a;
+  return static_cast<std::size_t>(it - ls.begin()) - 1;
+}
+
+void FastRedundantShare::place(std::uint64_t address,
+                               std::span<DeviceId> out) const {
+  check_out_span(out, tables_.k);
+  std::size_t start = 0;
+  std::size_t pos = 0;
+  for (unsigned m = tables_.k; m >= 1; --m) {
+    const std::size_t i = sample_selection(m, start, address);
+    out[pos++] = tables_.uids[i];
+    start = i + 1;
+  }
+}
+
+std::string FastRedundantShare::name() const { return "fast-redundant-share"; }
+
+}  // namespace rds

@@ -1,0 +1,58 @@
+// Redundant Share in O(k log n) per ball (Section 3.3 of the paper).
+//
+// RedundantShare's walk is a Markov chain over states (m copies needed,
+// position j); a run of skips at constant m has the product-form survival
+// Q_m(i) = prod_{l < i}(1 - f(m, l)).  We precompute, per level m, the
+// monotone log-survival array and invert the conditional CDF of "position
+// of the next selection" by binary search: one hash evaluation and one
+// O(log n) search per copy instead of the O(n) scan.  The joint law is
+// *identical* to RedundantShare's (same Markov kernel); only the coupling
+// of the random choices differs, which slightly worsens adaptivity --
+// measured in bench/ablation_fast_adaptivity.
+//
+// Memory is O(k * n); the paper's O(k) lookup at O(k * n * s) memory is the
+// same idea with per-state constant-time selectors instead of the binary
+// search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/redundant_share.hpp"
+
+namespace rds {
+
+class FastRedundantShare final : public ReplicationStrategy {
+ public:
+  FastRedundantShare(const ClusterConfig& config, unsigned k);
+  FastRedundantShare(const ClusterConfig& config, unsigned k,
+                     RedundantShare::Options opt);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+
+  [[nodiscard]] unsigned replication() const override { return tables_.k; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return tables_.size();
+  }
+
+  [[nodiscard]] const detail::RsTables& tables() const noexcept {
+    return tables_;
+  }
+
+ private:
+  /// Position of level m's selection, starting the scan at `start`.
+  [[nodiscard]] std::size_t sample_selection(unsigned m, std::size_t start,
+                                             std::uint64_t address) const;
+
+  detail::RsTables tables_;
+  // log_survival_[m-1][i] = sum of log(1 - f(m, l)) over the non-absorbing
+  // columns l < i (absorbing: f >= 1); size n+1 per level.
+  std::vector<std::vector<double>> log_survival_;
+  // next_absorbing_[m-1][i] = first column >= i with f(m, .) >= 1 (n if
+  // none; one always exists within reach of any valid state).
+  std::vector<std::vector<std::size_t>> next_absorbing_;
+};
+
+}  // namespace rds

@@ -1,0 +1,88 @@
+#include "src/core/hierarchical.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/placement/rendezvous.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+HierarchicalRedundantShare::HierarchicalRedundantShare(
+    std::vector<FailureDomain> domains, unsigned k, std::uint64_t salt)
+    : HierarchicalRedundantShare(std::move(domains), k,
+                                 RedundantShare::Options{}, salt) {}
+
+HierarchicalRedundantShare::HierarchicalRedundantShare(
+    std::vector<FailureDomain> domains, unsigned k,
+    RedundantShare::Options opt, std::uint64_t salt)
+    : domains_(std::move(domains)), k_(k), salt_(salt) {
+  if (k_ == 0) throw std::invalid_argument("HierarchicalRS: k == 0");
+  if (domains_.size() < k_) {
+    throw std::invalid_argument("HierarchicalRS: fewer domains than k");
+  }
+  std::unordered_set<DeviceId> seen;
+  std::vector<Device> pseudo;
+  domain_devices_.resize(domains_.size());
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    if (domains_[d].devices.empty()) {
+      throw std::invalid_argument("HierarchicalRS: empty domain");
+    }
+    for (const Device& dev : domains_[d].devices) {
+      if (dev.capacity == 0) {
+        throw std::invalid_argument("HierarchicalRS: zero-capacity device");
+      }
+      if (!seen.insert(dev.uid).second) {
+        throw std::invalid_argument("HierarchicalRS: duplicate device uid");
+      }
+      domain_devices_[d].push_back(
+          {dev.uid, static_cast<double>(dev.capacity)});
+    }
+    // Pseudo-device per domain: uid = domain index, capacity = aggregate.
+    pseudo.push_back({d, domains_[d].total_capacity(), domains_[d].name});
+  }
+  outer_ = std::make_unique<RedundantShare>(ClusterConfig(std::move(pseudo)),
+                                            k_, opt);
+}
+
+std::size_t HierarchicalRedundantShare::device_count() const {
+  std::size_t n = 0;
+  for (const FailureDomain& d : domains_) n += d.devices.size();
+  return n;
+}
+
+std::size_t HierarchicalRedundantShare::domain_of(DeviceId uid) const {
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    for (const Candidate& c : domain_devices_[d]) {
+      if (c.uid == uid) return d;
+    }
+  }
+  return domains_.size();
+}
+
+void HierarchicalRedundantShare::place(std::uint64_t address,
+                                       std::span<DeviceId> out) const {
+  check_out_span(out, k_);
+  // Outer: k distinct domains, fair by aggregate usable capacity and
+  // copy-identified (copy r's domain is deterministic).
+  std::vector<DeviceId> chosen(k_);
+  outer_->place(address, chosen);
+
+  // Inner: fair weighted race inside each chosen domain.  Salting with the
+  // domain keeps the races independent.
+  for (unsigned r = 0; r < k_; ++r) {
+    const auto domain = static_cast<std::size_t>(chosen[r]);
+    const DeviceId uid = rendezvous_draw(
+        address, salt_ ^ (0x41D0ULL + domain), domain_devices_[domain]);
+    if (uid == kNoDevice) {
+      throw std::logic_error("HierarchicalRS: empty device race");
+    }
+    out[r] = uid;
+  }
+}
+
+std::string HierarchicalRedundantShare::name() const {
+  return "hierarchical-redundant-share";
+}
+
+}  // namespace rds

@@ -1,0 +1,63 @@
+// Failure-domain-aware Redundant Share.
+//
+// Places the k copies of a block on k *distinct failure domains* (racks,
+// hosts, power circuits): the outer level runs Redundant Share over the
+// domains (weighted by their usable aggregate capacities), the inner level
+// draws a device inside each chosen domain with a fair weighted race.
+//
+// This composition keeps every guarantee of the flat strategy -- exact
+// global fairness (a device with x% of the usable capacity gets x% of the
+// copies), bounded movement under reconfiguration -- while adding the
+// isolation CRUSH is used for.  Unlike the straw/trivial domain selection
+// (placement/crush.hpp), the outer Redundant Share does NOT lose capacity
+// when domains have heterogeneous sizes: a domain holding half the total
+// capacity receives a copy of every block, exactly as Lemma 2.1 demands.
+//
+// The paper's conclusion asks for strategies beyond plain mirroring; this
+// is the natural such extension, built entirely from the paper's own
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/redundant_share.hpp"
+#include "src/placement/crush.hpp"  // FailureDomain
+
+namespace rds {
+
+class HierarchicalRedundantShare final : public ReplicationStrategy {
+ public:
+  /// k <= number of domains; device uids must be globally unique.
+  HierarchicalRedundantShare(std::vector<FailureDomain> domains, unsigned k,
+                             std::uint64_t salt = 0);
+  HierarchicalRedundantShare(std::vector<FailureDomain> domains, unsigned k,
+                             RedundantShare::Options opt,
+                             std::uint64_t salt = 0);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+
+  [[nodiscard]] unsigned replication() const override { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] std::size_t domain_of(DeviceId uid) const;
+
+  /// The outer strategy over the domains (for analysis/tests).
+  [[nodiscard]] const RedundantShare& outer() const noexcept {
+    return *outer_;
+  }
+
+ private:
+  std::vector<FailureDomain> domains_;
+  std::vector<std::vector<Candidate>> domain_devices_;  // per domain index
+  std::unique_ptr<RedundantShare> outer_;  // devices are pseudo "domains"
+  unsigned k_;
+  std::uint64_t salt_;
+};
+
+}  // namespace rds

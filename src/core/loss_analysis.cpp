@@ -1,0 +1,66 @@
+#include "src/core/loss_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rds {
+
+std::vector<double> copies_in_set_distribution(
+    const RedundantShare& strategy, std::span<const DeviceId> failed) {
+  const detail::RsTables& t = strategy.tables();
+  const std::size_t n = t.size();
+  const unsigned k = t.k;
+
+  std::vector<bool> in_set(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_set[i] = std::ranges::find(failed, t.uids[i]) != failed.end();
+  }
+
+  // State: (m copies still needed, c copies already inside the failed set).
+  // pi[m][c] = probability mass; the per-column transition selects with
+  // probability f(m, column) and bumps c when the column is failed.
+  std::vector<std::vector<double>> pi(
+      k + 1, std::vector<double>(k + 1, 0.0));
+  pi[k][0] = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<std::vector<double>> next(
+        k + 1, std::vector<double>(k + 1, 0.0));
+    for (unsigned m = 0; m <= k; ++m) {
+      for (unsigned c = 0; c <= k - m; ++c) {
+        const double mass = pi[m][c];
+        if (mass <= 0.0) continue;
+        if (m == 0) {
+          next[0][c] += mass;
+          continue;
+        }
+        const double f = t.f(m, j);
+        next[m][c] += mass * (1.0 - f);
+        const unsigned c2 = in_set[j] ? c + 1 : c;
+        next[m - 1][c2] += mass * f;
+      }
+    }
+    pi = std::move(next);
+  }
+
+  std::vector<double> dist(k + 1, 0.0);
+  for (unsigned c = 0; c <= k; ++c) dist[c] = pi[0][c];
+  return dist;
+}
+
+double exact_loss_probability(const RedundantShare& strategy,
+                              std::span<const DeviceId> failed,
+                              unsigned min_fragments) {
+  const unsigned k = strategy.replication();
+  if (min_fragments == 0 || min_fragments > k) {
+    throw std::invalid_argument("exact_loss_probability: bad min_fragments");
+  }
+  const std::vector<double> dist =
+      copies_in_set_distribution(strategy, failed);
+  // Lost iff fewer than min_fragments copies survive, i.e. more than
+  // k - min_fragments copies are inside the failed set.
+  double loss = 0.0;
+  for (unsigned c = k - min_fragments + 1; c <= k; ++c) loss += dist[c];
+  return loss;
+}
+
+}  // namespace rds

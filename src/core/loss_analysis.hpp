@@ -1,0 +1,33 @@
+// Correlated-failure analysis of a Redundant Share placement.
+//
+// When a set F of devices fails simultaneously, a mirrored ball is lost iff
+// ALL k of its copies sit inside F (an erasure-coded ball with d required
+// fragments is lost iff more than k-d of its fragments sit inside F).  Both
+// probabilities are exact functionals of the selection chain and computable
+// in O(k^2 * n) by running the state recursion with a per-state count of
+// copies already placed inside F -- no sampling, no enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cluster/device.hpp"
+#include "src/core/redundant_share.hpp"
+
+namespace rds {
+
+/// Exact distribution of "number of copies a ball has inside `failed`":
+/// entry c is P(exactly c of the k copies are on failed devices).
+/// `failed` lists device uids; unknown uids are ignored.
+[[nodiscard]] std::vector<double> copies_in_set_distribution(
+    const RedundantShare& strategy, std::span<const DeviceId> failed);
+
+/// P(a ball is unreadable after `failed` fail), given the ball needs
+/// `min_fragments` of the k fragments to survive.  min_fragments == 1 is
+/// plain mirroring.
+[[nodiscard]] double exact_loss_probability(const RedundantShare& strategy,
+                                            std::span<const DeviceId> failed,
+                                            unsigned min_fragments = 1);
+
+}  // namespace rds

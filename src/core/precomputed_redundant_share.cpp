@@ -1,0 +1,76 @@
+#include "src/core/precomputed_redundant_share.hpp"
+
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+namespace {
+
+constexpr std::uint64_t kO1Salt = 0x0001C0DEULL;
+constexpr std::size_t kMaxDevices = 4096;
+
+}  // namespace
+
+PrecomputedRedundantShare::PrecomputedRedundantShare(
+    const ClusterConfig& config, unsigned k)
+    : PrecomputedRedundantShare(config, k, RedundantShare::Options{}) {}
+
+PrecomputedRedundantShare::PrecomputedRedundantShare(
+    const ClusterConfig& config, unsigned k, RedundantShare::Options opt)
+    : tables_(detail::RsTables::build(config, k, opt.apply_optimal_weights,
+                                      opt.apply_adjustment)) {
+  const std::size_t n = tables_.size();
+  if (n > kMaxDevices) {
+    throw std::invalid_argument(
+        "PrecomputedRedundantShare: too many devices for O(k n^2) tables; "
+        "use FastRedundantShare");
+  }
+  selector_.resize(k);
+  std::vector<double> pmf;
+  for (unsigned m = 1; m <= k; ++m) {
+    selector_[m - 1].resize(n);
+    for (std::size_t s = 0; s + m <= n; ++s) {
+      // Conditional law of the next selection position from state (m, s):
+      // p(l) = f(m, l) * prod_{j in [s, l)} (1 - f(m, j)), truncated at the
+      // first absorbing column.
+      pmf.clear();
+      double survive = 1.0;
+      for (std::size_t l = s; l < n; ++l) {
+        const double f = tables_.f(m, l);
+        pmf.push_back(survive * f);
+        if (f >= 1.0) break;
+        survive *= 1.0 - f;
+      }
+      selector_[m - 1][s] = AliasTable(pmf);
+    }
+  }
+}
+
+void PrecomputedRedundantShare::place(std::uint64_t address,
+                                      std::span<DeviceId> out) const {
+  check_out_span(out, tables_.k);
+  std::size_t start = 0;
+  std::size_t pos = 0;
+  for (unsigned m = tables_.k; m >= 1; --m) {
+    const AliasTable& table = selector_[m - 1][start];
+    const double u = to_unit(hash3(address, kO1Salt, m));
+    const std::size_t i = start + table.sample(u);
+    out[pos++] = tables_.uids[i];
+    start = i + 1;
+  }
+}
+
+std::string PrecomputedRedundantShare::name() const {
+  return "precomputed-redundant-share";
+}
+
+std::size_t PrecomputedRedundantShare::table_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : selector_) {
+    for (const AliasTable& t : level) total += t.size();
+  }
+  return total;
+}
+
+}  // namespace rds

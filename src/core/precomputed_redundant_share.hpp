@@ -1,0 +1,52 @@
+// Redundant Share with O(k) lookups -- the full memory/time trade-off of
+// Section 3.3 ("for every following copy we need O(n) hash functions, one
+// for each disk that could be chosen ... memory complexity O(k n s)").
+//
+// For every state (m copies needed, scan start s) the conditional law of
+// the next selection position is a fixed discrete distribution; we
+// materialize an alias table per state, so a placement is k alias lookups:
+// O(k) time, O(k * n^2) worst-case memory (the paper's "s" is the per-hash
+// -function footprint).  The law is identical to RedundantShare's and
+// FastRedundantShare's; use this variant when lookups dominate and the
+// device count is moderate (construction guards n <= 4096).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/redundant_share.hpp"
+#include "src/util/alias_table.hpp"
+
+namespace rds {
+
+class PrecomputedRedundantShare final : public ReplicationStrategy {
+ public:
+  PrecomputedRedundantShare(const ClusterConfig& config, unsigned k);
+  PrecomputedRedundantShare(const ClusterConfig& config, unsigned k,
+                            RedundantShare::Options opt);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+
+  [[nodiscard]] unsigned replication() const override { return tables_.k; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return tables_.size();
+  }
+
+  /// Total alias-table entries (the "O(k n s)" memory, for reports).
+  [[nodiscard]] std::size_t table_entries() const noexcept;
+
+  [[nodiscard]] const detail::RsTables& tables() const noexcept {
+    return tables_;
+  }
+
+ private:
+  detail::RsTables tables_;
+  // selector_[m-1][s]: alias table over the selection position relative to
+  // s, for states with m copies needed at scan position s.  States with
+  // s > n - m are unreachable and left empty.
+  std::vector<std::vector<AliasTable>> selector_;
+};
+
+}  // namespace rds

@@ -1,0 +1,150 @@
+#include "src/core/redundant_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/capacity.hpp"
+#include "src/placement/rendezvous.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+namespace detail {
+
+RsTables RsTables::build(const ClusterConfig& config, unsigned k,
+                         bool apply_optimal_weights, bool apply_adjustment) {
+  if (k == 0) throw std::invalid_argument("RedundantShare: k == 0");
+  if (config.size() < k) {
+    throw std::invalid_argument("RedundantShare: fewer devices than k");
+  }
+  RsTables t;
+  t.k = k;
+  t.uids.reserve(config.size());
+  for (const Device& d : config.devices()) t.uids.push_back(d.uid);
+
+  std::vector<double> caps = config.capacities();  // canonical: descending
+  t.caps = apply_optimal_weights ? optimal_weights(caps, k) : std::move(caps);
+
+  const std::size_t n = t.caps.size();
+  t.suffix.assign(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) t.suffix[i] = t.suffix[i + 1] + t.caps[i];
+
+  // Defaults: f(m, j) = min(1, m * b_j / B_j).
+  t.select_prob.assign(k, std::vector<double>(n, 0.0));
+  for (unsigned m = 1; m <= k; ++m) {
+    for (std::size_t j = 0; j < n; ++j) {
+      t.select_prob[m - 1][j] =
+          std::min(1.0, static_cast<double>(m) * t.caps[j] / t.suffix[j]);
+    }
+  }
+
+  // Moment matching: walk the state occupancies pi(m, j) and, wherever the
+  // clamp at 1 starves a column of its fair marginal k * b_j / B, raise the
+  // selection probabilities of the still-unclamped (lower-m) states of that
+  // column.  Highest m first: those are the paths that skipped the most
+  // capacity, matching the paper's b-tilde, which compensates via the round
+  // that just passed the oversized bin.
+  std::vector<double> pi(k + 1, 0.0);  // pi[m] at the current column
+  pi[k] = 1.0;
+  const double total = t.suffix[0];
+  for (std::size_t j = 0; j < n; ++j) {
+    const double target = static_cast<double>(k) * t.caps[j] / total;
+    if (apply_adjustment) {
+      double achieved = 0.0;
+      for (unsigned m = 1; m <= k; ++m) {
+        achieved += pi[m] * t.select_prob[m - 1][j];
+      }
+      double deficit = target - achieved;
+      for (unsigned m = k; m >= 1 && deficit > 1e-15; --m) {
+        const double headroom = pi[m] * (1.0 - t.select_prob[m - 1][j]);
+        if (headroom <= 0.0) continue;
+        const double take = std::min(deficit, headroom);
+        t.select_prob[m - 1][j] += take / pi[m];
+        deficit -= take;
+      }
+      if (deficit > 1e-12) {
+        // Unreachable after optimal_weights (see tests); recorded so a
+        // caller can notice rather than silently trusting fairness.
+        t.fairness_residual = std::max(t.fairness_residual, deficit);
+      }
+    }
+    // Advance the occupancies to column j + 1.
+    std::vector<double> next(k + 1, 0.0);
+    next[0] = pi[0];
+    for (unsigned m = 1; m <= k; ++m) {
+      const double f = t.select_prob[m - 1][j];
+      next[m] += pi[m] * (1.0 - f);
+      next[m - 1] += pi[m] * f;
+    }
+    pi = std::move(next);
+  }
+  return t;
+}
+
+}  // namespace detail
+
+RedundantShare::RedundantShare(const ClusterConfig& config, unsigned k)
+    : RedundantShare(config, k, Options{}) {}
+
+RedundantShare::RedundantShare(const ClusterConfig& config, unsigned k,
+                               Options opt)
+    : tables_(detail::RsTables::build(config, k, opt.apply_optimal_weights,
+                                      opt.apply_adjustment)) {}
+
+void RedundantShare::place(std::uint64_t address,
+                           std::span<DeviceId> out) const {
+  check_out_span(out, tables_.k);
+  const std::size_t n = tables_.size();
+  unsigned m = tables_.k;
+  std::size_t pos = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (m == 1) {
+      // Last copy: the paper's `placeonecopy` -- a single fair weighted
+      // draw over the remaining bins, realized as a rendezvous race on the
+      // exact conditional distribution of the selection chain.  Same law
+      // as walking the chain, but 1-competitive under device changes (one
+      // independent experiment per bin instead of a positional cascade).
+      // Without clamped columns the weights reduce to the plain adjusted
+      // capacities, exactly the paper's placeonecopy input.
+      out[pos] = place_last(address, j);
+      return;
+    }
+    const double f = tables_.f(m, j);
+    if (f <= 0.0) continue;
+    // unit_value < 1 always, so f >= 1 selects unconditionally.
+    if (unit_value(address, tables_.uids[j], m) < f) {
+      out[pos++] = tables_.uids[j];
+      --m;
+    }
+  }
+  // Unreachable: f(m, j) == 1 whenever only m bins remain.
+  throw std::logic_error("RedundantShare: selection chain ran off the end");
+}
+
+DeviceId RedundantShare::place_last(std::uint64_t address,
+                                    std::size_t start) const {
+  const std::size_t n = tables_.size();
+  // Hot path: reuse one buffer per thread instead of allocating per ball.
+  static thread_local std::vector<Candidate> candidates;
+  candidates.clear();
+  candidates.reserve(n - start);
+  double survive = 1.0;
+  for (std::size_t l = start; l < n; ++l) {
+    const double f = tables_.f(1, l);
+    // P(chain selects l | state (1, start)) = f(1, l) * prod (1 - f).
+    candidates.push_back({tables_.uids[l], survive * f});
+    if (f >= 1.0) break;  // absorbing: no mass beyond
+    survive *= 1.0 - f;
+  }
+  const DeviceId uid = rendezvous_draw(address, /*salt=*/1, candidates);
+  if (uid == kNoDevice) {
+    throw std::logic_error("RedundantShare: empty last-copy suffix");
+  }
+  return uid;
+}
+
+std::string RedundantShare::name() const {
+  return tables_.k == 2 ? "redundant-share(LinMirror)" : "redundant-share";
+}
+
+}  // namespace rds

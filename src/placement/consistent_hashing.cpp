@@ -1,0 +1,67 @@
+#include "src/placement/consistent_hashing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+ConsistentHashing::ConsistentHashing(const ClusterConfig& config,
+                                     unsigned vnodes_per_avg_device,
+                                     std::uint64_t salt)
+    : device_count_(config.size()), salt_(salt) {
+  if (config.empty()) {
+    throw std::invalid_argument("ConsistentHashing: empty cluster");
+  }
+  if (vnodes_per_avg_device == 0) {
+    throw std::invalid_argument("ConsistentHashing: zero virtual nodes");
+  }
+  const double avg_capacity =
+      static_cast<double>(config.total_capacity()) /
+      static_cast<double>(config.size());
+  for (const Device& d : config.devices()) {
+    const double share = static_cast<double>(d.capacity) / avg_capacity;
+    const auto vnodes = static_cast<std::size_t>(std::max(
+        1.0, std::round(share * static_cast<double>(vnodes_per_avg_device))));
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Ring position depends only on (uid, vnode index, salt): stable under
+      // any change to other devices.
+      ring_.push_back({hash3(d.uid, v, salt_), d.uid});
+    }
+  }
+  std::ranges::sort(ring_, [](const RingPoint& a, const RingPoint& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return a.uid < b.uid;  // deterministic tie-break
+  });
+}
+
+DeviceId ConsistentHashing::place(std::uint64_t address) const {
+  const std::uint64_t pos = mix64(address ^ salt_);
+  auto it = std::ranges::lower_bound(
+      ring_, pos, {}, [](const RingPoint& p) { return p.position; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->uid;
+}
+
+DeviceId ConsistentHashing::place_excluding(
+    std::uint64_t address, std::span<const DeviceId> excluded) const {
+  const auto is_excluded = [excluded](DeviceId uid) {
+    return std::ranges::find(excluded, uid) != excluded.end();
+  };
+  const std::uint64_t pos = mix64(address ^ salt_);
+  auto it = std::ranges::lower_bound(
+      ring_, pos, {}, [](const RingPoint& p) { return p.position; });
+  // Walk at most one full revolution.
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!is_excluded(it->uid)) return it->uid;
+    ++it;
+  }
+  return kNoDevice;  // every device excluded
+}
+
+std::string ConsistentHashing::name() const { return "consistent-hashing"; }
+
+}  // namespace rds

@@ -1,0 +1,56 @@
+// Consistent hashing (Karger et al., STOC 1997), weighted via virtual nodes.
+//
+// Each device owns a number of points on a 64-bit ring proportional to its
+// capacity; a ball is stored on the device owning the first point at or
+// after the ball's own ring position.  Fairness is only approximate (it
+// concentrates around the capacity share as the number of virtual nodes
+// grows), which is exactly why the paper needs strategies beyond it -- but it
+// is the classical substrate the paper builds on and a required baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+class ConsistentHashing final : public SingleStrategy {
+ public:
+  /// `vnodes_per_unit`: ring points per unit of *relative* capacity times
+  /// device count; the default gives ~256 points for an average device.
+  /// `salt` decorrelates independent rings over the same cluster.
+  explicit ConsistentHashing(const ClusterConfig& config,
+                             unsigned vnodes_per_avg_device = 256,
+                             std::uint64_t salt = 0);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+
+  /// Placement with some devices excluded: the ring is walked clockwise
+  /// past points owned by excluded devices.  This is the "bins already
+  /// chosen do not take part in draw i" rule of the trivial strategy
+  /// (Definition 2.3) realized on a ring.
+  [[nodiscard]] DeviceId place_excluding(
+      std::uint64_t address, std::span<const DeviceId> excluded) const;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return device_count_;
+  }
+
+  /// Total number of ring points (for tests).
+  [[nodiscard]] std::size_t ring_size() const noexcept { return ring_.size(); }
+
+ private:
+  struct RingPoint {
+    std::uint64_t position;
+    DeviceId uid;
+  };
+
+  std::vector<RingPoint> ring_;  // sorted by position
+  std::size_t device_count_ = 0;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace rds

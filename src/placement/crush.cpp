@@ -1,0 +1,85 @@
+#include "src/placement/crush.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "src/placement/rendezvous.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+std::uint64_t FailureDomain::total_capacity() const noexcept {
+  std::uint64_t total = 0;
+  for (const Device& d : devices) total += d.capacity;
+  return total;
+}
+
+CrushPlacement::CrushPlacement(std::vector<FailureDomain> domains, unsigned k,
+                               std::uint64_t salt)
+    : domains_(std::move(domains)), k_(k), salt_(salt) {
+  if (k_ == 0) throw std::invalid_argument("CrushPlacement: k == 0");
+  if (domains_.size() < k_) {
+    throw std::invalid_argument("CrushPlacement: fewer domains than k");
+  }
+  std::unordered_set<DeviceId> seen;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    if (domains_[d].devices.empty()) {
+      throw std::invalid_argument("CrushPlacement: empty domain");
+    }
+    for (const Device& dev : domains_[d].devices) {
+      if (dev.capacity == 0) {
+        throw std::invalid_argument("CrushPlacement: zero-capacity device");
+      }
+      if (!seen.insert(dev.uid).second) {
+        throw std::invalid_argument("CrushPlacement: duplicate device uid");
+      }
+    }
+    domain_candidates_.push_back(
+        {d, static_cast<double>(domains_[d].total_capacity())});
+  }
+}
+
+std::size_t CrushPlacement::device_count() const {
+  std::size_t n = 0;
+  for (const FailureDomain& d : domains_) n += d.devices.size();
+  return n;
+}
+
+std::size_t CrushPlacement::domain_of(DeviceId uid) const {
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    for (const Device& dev : domains_[d].devices) {
+      if (dev.uid == uid) return d;
+    }
+  }
+  return domains_.size();
+}
+
+void CrushPlacement::place(std::uint64_t address,
+                           std::span<DeviceId> out) const {
+  check_out_span(out, k_);
+  // Straw phase 1: the k best-scoring domains, one replica each -- a
+  // rendezvous top-k, i.e. k successive weighted draws without replacement
+  // (the trivial strategy at domain granularity; see the header).
+  std::vector<DeviceId> chosen(k_);
+  rendezvous_top_k(address, salt_ ^ 0xC2054ULL, domain_candidates_, chosen);
+
+  // Straw phase 2: a weighted race among each chosen domain's devices.
+  for (unsigned r = 0; r < k_; ++r) {
+    const FailureDomain& domain = domains_[chosen[r]];
+    std::vector<Candidate> devices;
+    devices.reserve(domain.devices.size());
+    for (const Device& dev : domain.devices) {
+      devices.push_back({dev.uid, static_cast<double>(dev.capacity)});
+    }
+    const DeviceId uid =
+        rendezvous_draw(address, salt_ ^ (0xD0D0ULL + chosen[r]), devices);
+    if (uid == kNoDevice) {
+      throw std::logic_error("CrushPlacement: empty device race");
+    }
+    out[r] = uid;
+  }
+}
+
+std::string CrushPlacement::name() const { return "crush(straw,simplified)"; }
+
+}  // namespace rds

@@ -1,0 +1,63 @@
+// Simplified CRUSH (Weil, Brandt, Miller, Maltzahn, SC 2006) -- the paper's
+// reference [12], the successor of the RUSH family.
+//
+// A two-level hierarchy: failure domains (racks, hosts, ...) containing
+// weighted devices.  Replica selection is "straw" drawing, which is exactly
+// a weighted rendezvous race: the k distinct domains with the best scores
+// win (one replica each, so no two copies share a failure domain), and a
+// second race picks the device inside each chosen domain.
+//
+// The instructive defect, deliberately preserved: selecting k domains by
+// taking the top-k of ONE weighted race is the paper's *trivial* strategy
+// (Definition 2.3) at domain granularity.  When failure domains have
+// heterogeneous total weights, the biggest domain receives less than its
+// fair share (Lemma 2.4) and capacity is wasted -- the cross-domain version
+// of Figure 1.  HierarchicalRedundantShare (src/core/hierarchical.hpp)
+// replaces the domain race with Redundant Share and removes the loss;
+// bench/ext_failure_domains quantifies the difference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+/// One failure domain: a named group of devices that must not hold two
+/// copies of the same block.
+struct FailureDomain {
+  std::string name;
+  std::vector<Device> devices;
+
+  [[nodiscard]] std::uint64_t total_capacity() const noexcept;
+};
+
+class CrushPlacement final : public ReplicationStrategy {
+ public:
+  /// k <= number of domains; device uids must be globally unique.
+  CrushPlacement(std::vector<FailureDomain> domains, unsigned k,
+                 std::uint64_t salt = 0);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+
+  [[nodiscard]] unsigned replication() const override { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override;
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+
+  /// Index of the domain holding `uid`, or size() if unknown (tests).
+  [[nodiscard]] std::size_t domain_of(DeviceId uid) const;
+
+ private:
+  std::vector<FailureDomain> domains_;
+  std::vector<Candidate> domain_candidates_;  // uid = domain index
+  unsigned k_;
+  std::uint64_t salt_;
+};
+
+}  // namespace rds

@@ -1,0 +1,43 @@
+#include "src/placement/jump_hash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+std::uint32_t jump_consistent_hash(std::uint64_t key, std::uint32_t buckets) {
+  if (buckets == 0) throw std::invalid_argument("jump hash: zero buckets");
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+JumpHash::JumpHash(const ClusterConfig& config, std::uint64_t salt)
+    : salt_(salt) {
+  if (config.empty()) throw std::invalid_argument("JumpHash: empty cluster");
+  uids_.reserve(config.size());
+  for (const Device& d : config.devices()) uids_.push_back(d.uid);
+  // Bucket numbering must be stable as devices come and go at the END, so
+  // order by uid, not by capacity.
+  std::ranges::sort(uids_);
+}
+
+DeviceId JumpHash::place(std::uint64_t address) const {
+  const std::uint32_t bucket = jump_consistent_hash(
+      mix64(address ^ salt_), static_cast<std::uint32_t>(uids_.size()));
+  return uids_[bucket];
+}
+
+std::string JumpHash::name() const { return "jump-hash"; }
+
+}  // namespace rds

@@ -1,0 +1,41 @@
+// Jump consistent hashing (Lamping & Veach, 2014).
+//
+// Maps a key to one of n numbered buckets in O(log n) time with ZERO state
+// and optimal movement when n grows -- but only for *equal-weight* buckets,
+// and capacity can only be added or removed at the END of the bucket range.
+// It is the modern embodiment of the restrictions the paper's Section 1
+// catalogues (RAID's homogeneity, RUSH's chunked growth): a beautiful
+// special case that Redundant Share generalizes away.  Included as a
+// baseline for the substrate comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+/// The core jump function: bucket index in [0, buckets) for `key`.
+[[nodiscard]] std::uint32_t jump_consistent_hash(std::uint64_t key,
+                                                 std::uint32_t buckets);
+
+/// SingleStrategy adapter over a cluster: bucket i = canonical device i.
+/// Device capacities are IGNORED (uniform distribution) -- by design; see
+/// above.  Throws if the cluster is empty.
+class JumpHash final : public SingleStrategy {
+ public:
+  explicit JumpHash(const ClusterConfig& config, std::uint64_t salt = 0);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return uids_.size();
+  }
+
+ private:
+  std::vector<DeviceId> uids_;  // ordered by uid: append-only growth story
+  std::uint64_t salt_;
+};
+
+}  // namespace rds

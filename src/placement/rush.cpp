@@ -1,0 +1,110 @@
+#include "src/placement/rush.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+namespace {
+
+/// Smallest prime >= 2 that does not divide n (step size for the in-cluster
+/// permutation; any step coprime to n visits all devices exactly once).
+std::uint64_t coprime_step(std::uint64_t n, std::uint64_t seed) {
+  if (n <= 2) return 1;
+  // Try a handful of primes in seed-dependent order for de-correlation.
+  constexpr std::uint64_t primes[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                      29, 31, 37, 41, 43, 47, 53, 59};
+  constexpr std::size_t np = sizeof(primes) / sizeof(primes[0]);
+  for (std::size_t t = 0; t < np; ++t) {
+    const std::uint64_t p = primes[(seed + t) % np];
+    if (n % p != 0) return p;
+  }
+  return 1;  // n divisible by all small primes: fall back to step 1
+}
+
+}  // namespace
+
+RushPlacement::RushPlacement(std::vector<SubCluster> sub_clusters, unsigned k,
+                             std::uint64_t salt)
+    : sub_clusters_(std::move(sub_clusters)), k_(k), salt_(salt) {
+  if (k_ == 0) throw std::invalid_argument("RushPlacement: k == 0");
+  if (sub_clusters_.empty()) {
+    throw std::invalid_argument("RushPlacement: no sub-clusters");
+  }
+  for (const SubCluster& sc : sub_clusters_) {
+    if (sc.uids.empty()) {
+      throw std::invalid_argument("RushPlacement: empty sub-cluster");
+    }
+    if (sc.device_weight <= 0.0) {
+      throw std::invalid_argument("RushPlacement: non-positive weight");
+    }
+  }
+  // The chunk restriction the paper criticizes: the oldest sub-cluster takes
+  // every replica the newer ones decline, so it must fit a whole group.
+  if (sub_clusters_.front().uids.size() < k_) {
+    throw std::invalid_argument(
+        "RushPlacement: first sub-cluster smaller than replication degree "
+        "(RUSH chunk restriction)");
+  }
+  cumulative_weight_.resize(sub_clusters_.size());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < sub_clusters_.size(); ++j) {
+    acc += sub_clusters_[j].total_weight();
+    cumulative_weight_[j] = acc;
+  }
+}
+
+std::size_t RushPlacement::device_count() const {
+  std::size_t n = 0;
+  for (const SubCluster& sc : sub_clusters_) n += sc.uids.size();
+  return n;
+}
+
+void RushPlacement::pick_in_subcluster(std::uint64_t address, std::size_t j,
+                                       unsigned count,
+                                       std::span<DeviceId> out) const {
+  const SubCluster& sc = sub_clusters_[j];
+  const std::uint64_t n = sc.uids.size();
+  const std::uint64_t seed = hash3(address, j, salt_ ^ 0xbeefULL);
+  const std::uint64_t start = seed % n;
+  const std::uint64_t step = coprime_step(n, seed >> 32);
+  for (unsigned t = 0; t < count; ++t) {
+    out[t] = sc.uids[(start + static_cast<std::uint64_t>(t) * step) % n];
+  }
+}
+
+void RushPlacement::place(std::uint64_t address,
+                          std::span<DeviceId> out) const {
+  check_out_span(out, k_);
+  unsigned remaining = k_;
+  std::size_t filled = 0;
+  // Newest sub-cluster first, as in RUSH: each sub-cluster takes its share
+  // of the remaining replicas, the rest recurse into older sub-clusters.
+  for (std::size_t j = sub_clusters_.size(); j-- > 1 && remaining > 0;) {
+    const SubCluster& sc = sub_clusters_[j];
+    const double share = sc.total_weight() / cumulative_weight_[j];
+    const double expected = static_cast<double>(remaining) * share;
+    const auto cap =
+        static_cast<unsigned>(std::min<std::uint64_t>(remaining, sc.uids.size()));
+    auto take = static_cast<unsigned>(expected);
+    const double frac = expected - static_cast<double>(take);
+    if (unit_value(address, j, salt_) < frac) ++take;
+    take = std::min(take, cap);
+    if (take > 0) {
+      pick_in_subcluster(address, j, take, out.subspan(filled, take));
+      filled += take;
+      remaining -= take;
+    }
+  }
+  if (remaining > 0) {
+    // Overflow lands in the oldest sub-cluster (guaranteed >= k devices).
+    pick_in_subcluster(address, 0, remaining, out.subspan(filled, remaining));
+    filled += remaining;
+  }
+}
+
+std::string RushPlacement::name() const { return "rush-p(simplified)"; }
+
+}  // namespace rds

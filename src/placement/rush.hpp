@@ -1,0 +1,62 @@
+// Simplified RUSH_P (Honicky & Miller, IPDPS 2003/2004) -- the related-work
+// comparator of Section 1.2.
+//
+// RUSH organizes storage into *sub-clusters*: chunks of identical devices
+// added together.  Replicas of an object are apportioned to sub-clusters in
+// proportion to the sub-clusters' weights (newest first), then mapped to
+// distinct devices inside the chosen sub-cluster by a prime-step
+// permutation.  The paper's criticism, which this implementation makes
+// measurable, is the chunk restriction: capacity can only be added in
+// groups of same-type devices, and a sub-cluster must be large enough to
+// host every replica assigned to it without violating redundancy.
+//
+// This is a faithful-in-spirit simplification (deterministic randomized
+// rounding of the per-sub-cluster replica counts instead of RUSH's
+// hypergeometric draws); it keeps RUSH's signature properties: no two
+// replicas share a device, placement is a pure hash function, and adding a
+// sub-cluster moves only the data the new sub-cluster should own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+/// A chunk of identical devices added together.
+struct SubCluster {
+  std::vector<DeviceId> uids;
+  double device_weight = 1.0;  ///< relative weight of each device
+
+  [[nodiscard]] double total_weight() const noexcept {
+    return device_weight * static_cast<double>(uids.size());
+  }
+};
+
+class RushPlacement final : public ReplicationStrategy {
+ public:
+  /// Sub-clusters in addition order (oldest first).  Each sub-cluster needs
+  /// at least one device; the union must have >= k devices, and the oldest
+  /// sub-cluster must have >= k devices (it is the overflow target).
+  RushPlacement(std::vector<SubCluster> sub_clusters, unsigned k,
+                std::uint64_t salt = 0);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+  [[nodiscard]] unsigned replication() const override { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override;
+
+ private:
+  /// Selects `count` distinct devices of sub-cluster `j` for `address`.
+  void pick_in_subcluster(std::uint64_t address, std::size_t j,
+                          unsigned count, std::span<DeviceId> out) const;
+
+  std::vector<SubCluster> sub_clusters_;
+  std::vector<double> cumulative_weight_;  // weight of clusters 0..j
+  unsigned k_;
+  std::uint64_t salt_;
+};
+
+}  // namespace rds

@@ -1,0 +1,121 @@
+#include "src/placement/share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+Share::Share(const ClusterConfig& config, double stretch, std::uint64_t salt)
+    : device_count_(config.size()), salt_(salt) {
+  if (config.empty()) throw std::invalid_argument("Share: empty cluster");
+  const auto n = static_cast<double>(config.size());
+  stretch_ = stretch > 0.0 ? stretch : 3.0 * std::log(n) + 6.0;
+
+  // Each device claims an interval of stretched length s * c_i.  Lengths
+  // above 1 wrap around the circle: the device covers every point
+  // floor(length) times plus once more inside the fractional remainder --
+  // the multiplicity is what keeps the covering sets proportional to
+  // capacity (a device twice the size is twice as likely to win the uniform
+  // race at any point).
+  struct Interval {
+    double start;
+    double length;  // fractional remainder, < 1
+    DeviceId uid;
+  };
+  std::vector<Interval> intervals;
+  base_multiplicity_.assign(config.size(), 0);
+  uid_of_.reserve(config.size());
+  std::vector<double> cuts{0.0};
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const Device& d = config[i];
+    uid_of_.push_back(d.uid);
+    const double len = stretch_ * config.relative_capacity(i);
+    base_multiplicity_[i] = static_cast<std::uint32_t>(len);
+    const double frac = len - std::floor(len);
+    if (frac <= 0.0) continue;
+    const double start = to_unit(hash2(d.uid, salt_));
+    intervals.push_back({start, frac, d.uid});
+    cuts.push_back(start);
+    double end = start + frac;
+    if (end >= 1.0) end -= 1.0;  // wrap
+    cuts.push_back(end);
+  }
+  std::ranges::sort(cuts);
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  boundaries_ = cuts;
+  segment_extra_.assign(boundaries_.size(), {});
+
+  // Mark every elementary segment covered by each fractional interval.
+  // O(n * segments) worst case; acceptable at simulation scale.
+  const auto segment_of = [this](double x) {
+    auto it = std::ranges::upper_bound(boundaries_, x);
+    return static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+  };
+  for (const Interval& iv : intervals) {
+    const std::size_t first = segment_of(iv.start);
+    double end = iv.start + iv.length;
+    const bool wraps = end >= 1.0;
+    if (wraps) end -= 1.0;
+    const std::size_t last = segment_of(end);  // segment starting at end is
+                                               // NOT covered
+    std::size_t s = first;
+    while (s != last) {
+      segment_extra_[s].push_back(iv.uid);
+      s = (s + 1 == segment_extra_.size()) ? 0 : s + 1;
+    }
+  }
+}
+
+DeviceId Share::place(std::uint64_t address) const {
+  const double x = to_unit(mix64(address ^ (salt_ * 0x9e3779b97f4a7c15ULL +
+                                            0x51afd7ed558ccd25ULL)));
+  auto it = std::ranges::upper_bound(boundaries_, x);
+  const auto seg = static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+  const std::vector<DeviceId>& extra = segment_extra_[seg];
+
+  // Uniform race among all covering interval copies: device i participates
+  // with its multiplicity at x, each copy with an independent hash.
+  DeviceId best = kNoDevice;
+  std::uint64_t best_score = 0;
+  const auto race = [&](DeviceId uid, std::uint32_t copy) {
+    const std::uint64_t s =
+        hash3(address, uid, (salt_ << 8) ^ copy ^ 0xf00dULL);
+    if (best == kNoDevice || s > best_score ||
+        (s == best_score && uid < best)) {
+      best_score = s;
+      best = uid;
+    }
+  };
+  for (std::size_t i = 0; i < uid_of_.size(); ++i) {
+    for (std::uint32_t c = 0; c < base_multiplicity_[i]; ++c) {
+      race(uid_of_[i], c + 1);
+    }
+  }
+  for (const DeviceId uid : extra) race(uid, 0);
+  if (best == kNoDevice) {
+    // A point left uncovered by every interval (probability e^-Theta(stretch),
+    // possible for tiny capacity skews): fall back to a uniform race over
+    // all devices so the lookup never fails.
+    for (const DeviceId uid : uid_of_) race(uid, 0x7fffffff);
+  }
+  return best;
+}
+
+std::string Share::name() const { return "share"; }
+
+double Share::average_coverage() const {
+  double acc = 0.0;
+  for (const std::uint32_t m : base_multiplicity_) acc += m;
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    const double next = (i + 1 < boundaries_.size()) ? boundaries_[i + 1] : 1.0;
+    acc += (next - boundaries_[i]) *
+           static_cast<double>(segment_extra_[i].size());
+  }
+  return acc;
+}
+
+}  // namespace rds

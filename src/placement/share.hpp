@@ -1,0 +1,57 @@
+// The Share strategy (Brinkmann, Salzwedel, Scheideler, SPAA 2002).
+//
+// Share reduces *non-uniform* placement to *uniform* placement: every device
+// claims an interval on the unit circle whose length is its relative
+// capacity stretched by a factor s = Theta(log n); a ball hashes to a point
+// x, and among the devices whose intervals cover x, a uniform strategy
+// (equal-weight rendezvous here) picks the winner.  The probability that a
+// device covers x is proportional to its capacity, so the composition is
+// fair up to the uniform strategy's deviation; adaptivity is inherited
+// because interval starts depend only on the device uid.
+//
+// This is the strategy the paper cites as its fair `placeonecopy` candidate
+// for heterogeneous capacities; we ship it both as a standalone
+// SingleStrategy and as an alternative backend for Redundant Share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+class Share final : public SingleStrategy {
+ public:
+  /// `stretch` <= 0 selects the default 3*ln(n)+6 (covers every point with
+  /// high probability).  `salt` decorrelates independent instances.
+  explicit Share(const ClusterConfig& config, double stretch = 0.0,
+                 std::uint64_t salt = 0);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return device_count_;
+  }
+
+  [[nodiscard]] double stretch() const noexcept { return stretch_; }
+
+  /// Average number of devices covering a point (for tests; ~stretch).
+  [[nodiscard]] double average_coverage() const;
+
+ private:
+  // The unit circle is cut at every fractional-interval endpoint into
+  // elementary segments; segment_extra_[i] lists the devices whose
+  // fractional remainder covers segment [boundaries_[i], boundaries_[i+1]).
+  // base_multiplicity_[d] is the number of whole wraps of device d's
+  // interval (covers every point).
+  std::vector<double> boundaries_;
+  std::vector<std::vector<DeviceId>> segment_extra_;
+  std::vector<std::uint32_t> base_multiplicity_;  // canonical device order
+  std::vector<DeviceId> uid_of_;                  // canonical device order
+  std::size_t device_count_ = 0;
+  double stretch_ = 0.0;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace rds

@@ -1,0 +1,63 @@
+#include "src/placement/sieve.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "src/placement/rendezvous.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+Sieve::Sieve(const ClusterConfig& config, std::uint64_t salt)
+    : device_count_(config.size()), salt_(salt) {
+  if (config.empty()) throw std::invalid_argument("Sieve: empty cluster");
+  // Twice-oversized power-of-two slot table; every device claims the first
+  // free slot probing from hash(uid).  Assignment is computed in uid order,
+  // so a device change only perturbs the (rare) colliding probe chains --
+  // this slot stability is what keeps Sieve's data movement low.
+  const std::size_t slot_count = std::bit_ceil(2 * config.size());
+  slots_.assign(slot_count, Candidate{kNoDevice, 0.0});
+
+  std::vector<Device> by_uid(config.devices().begin(),
+                             config.devices().end());
+  std::ranges::sort(by_uid,
+                    [](const Device& a, const Device& b) { return a.uid < b.uid; });
+  const std::uint64_t mask = slot_count - 1;
+  for (const Device& d : by_uid) {
+    std::uint64_t slot = hash2(d.uid, salt_) & mask;
+    while (slots_[slot].uid != kNoDevice) slot = (slot + 1) & mask;
+    slots_[slot] = {d.uid, static_cast<double>(d.capacity)};
+    max_weight_ = std::max(max_weight_, static_cast<double>(d.capacity));
+    total_weight_ += static_cast<double>(d.capacity);
+  }
+}
+
+DeviceId Sieve::place(std::uint64_t address) const {
+  // Deterministic trial sequence; each trial picks a slot and an acceptance
+  // level from independent hashes.  Bounded by a generous cap, after which
+  // we fall back to an exact rendezvous race so the lookup never fails --
+  // the fallback fires with probability < 2^-64 for any sane system.
+  constexpr unsigned kMaxTrials = 256;
+  const std::uint64_t mask = slots_.size() - 1;
+  for (unsigned t = 0; t < kMaxTrials; ++t) {
+    const std::uint64_t h = hash3(address, t, salt_ ^ 0x51E7EULL);
+    const Candidate& c = slots_[h & mask];
+    if (c.weight <= 0.0) continue;  // empty slot: rejected
+    const double level = to_unit(mix64(h ^ 0x9e3779b97f4a7c15ULL));
+    if (level * max_weight_ < c.weight) return c.uid;
+  }
+  return rendezvous_draw(address, salt_ ^ 0xFA11BACCULL, slots_);
+}
+
+std::string Sieve::name() const { return "sieve"; }
+
+double Sieve::expected_trials() const noexcept {
+  // P(accept per trial) = sum_i (1/slots) * w_i / w_max.
+  const double p = total_weight_ /
+                   (max_weight_ * static_cast<double>(slots_.size()));
+  return p > 0.0 ? 1.0 / p : 0.0;
+}
+
+}  // namespace rds

@@ -1,0 +1,52 @@
+// The Sieve strategy (Brinkmann, Salzwedel, Scheideler, SPAA 2002) -- the
+// second compact adaptive scheme of the paper's reference [2].
+//
+// Rejection sampling over the bins: trial t hashes the ball to a candidate
+// bin (uniformly) and to an acceptance level in [0, 1); the candidate is
+// accepted if the level falls below the bin's weight relative to the
+// heaviest bin.  Accepted trials are distributed exactly in proportion to
+// the weights, so the first accepted trial is a perfectly fair draw.  The
+// expected number of trials is w_max * n / sum w <= n; for moderately
+// skewed systems it is a small constant.  Adaptivity: a trial's outcome
+// depends only on (ball, trial, bin layout), so capacity changes perturb
+// only the trials they touch.
+//
+// The trial-to-bin mapping uses a power-of-two slot table (>= 2n slots)
+// with hash-probed, uid-stable slot assignment, so adding a device claims a
+// fresh slot instead of renumbering everyone -- the trick that keeps
+// Sieve's movement low.  Caveat of this simplified implementation: when the
+// device count crosses a power-of-two boundary the table resizes and the
+// slot assignment reshuffles (a one-off migration); the full SPAA'02
+// construction avoids this with a multi-level frame structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+class Sieve final : public SingleStrategy {
+ public:
+  explicit Sieve(const ClusterConfig& config, std::uint64_t salt = 0);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return device_count_;
+  }
+
+  /// Expected trials per lookup (slots / n * w_max * n / sum w); for tests.
+  [[nodiscard]] double expected_trials() const noexcept;
+
+ private:
+  std::vector<Candidate> slots_;  // size = power of two >= n; empty slots
+                                  // have weight 0 (rejected outright)
+  double max_weight_ = 0.0;
+  double total_weight_ = 0.0;
+  std::size_t device_count_ = 0;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace rds

@@ -1,0 +1,53 @@
+// Static (table/pattern) placement baselines.
+//
+// These are the strategies the paper's introduction argues *against*:
+// perfectly fine for a fixed homogeneous array, but either unfair on
+// heterogeneous capacities or catastrophically non-adaptive (a device change
+// reshuffles nearly all data).  They exist to quantify exactly that in the
+// adaptivity benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+/// address mod n.  Uniform over devices regardless of capacity; the classic
+/// "hashing does not adapt" strawman.
+class ModuloPlacement final : public SingleStrategy {
+ public:
+  explicit ModuloPlacement(const ClusterConfig& config);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return uids_.size();
+  }
+
+ private:
+  std::vector<DeviceId> uids_;
+};
+
+/// RAID-style striping with replication: copy j of ball a sits on device
+/// (a*k + j) mod n.  Fair only for homogeneous devices; adapting to a new
+/// device count relocates almost everything.
+class RoundRobinStriping final : public ReplicationStrategy {
+ public:
+  RoundRobinStriping(const ClusterConfig& config, unsigned k);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+  [[nodiscard]] unsigned replication() const override { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return uids_.size();
+  }
+
+ private:
+  std::vector<DeviceId> uids_;
+  unsigned k_;
+};
+
+}  // namespace rds

@@ -1,0 +1,5 @@
+#include "src/placement/strategy.hpp"
+
+// Interfaces only; anchors the vtables of SingleStrategy/ReplicationStrategy
+// in the library (keyed to the destructors' first out-of-line use).
+namespace rds {}  // namespace rds

@@ -1,0 +1,83 @@
+// Placement strategy interfaces.
+//
+// A *single-copy* strategy maps a ball address to one device; a *replication*
+// strategy maps a ball address to k pairwise-distinct devices, where the i-th
+// entry of the result is, by contract, the i-th copy (copy identification --
+// required when the redundancy scheme is an erasure code and the sub-blocks
+// are not interchangeable).
+//
+// Strategies are immutable snapshots of a ClusterConfig: to react to a device
+// change, construct a new strategy from the new config and diff the
+// placements (src/sim/movement.hpp).  Placement must be a pure function of
+// (address, config) so that two calls always agree -- this is what lets a
+// distributed system run the same computation on every node with no
+// coordination.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+
+namespace rds {
+
+/// A candidate bin in a weighted draw: a stable uid plus a non-negative
+/// weight.  The weight need not equal the device capacity (Redundant Share
+/// boosts single candidates -- the b-tilde adjustment).
+struct Candidate {
+  DeviceId uid = kNoDevice;
+  double weight = 0.0;
+};
+
+/// Maps a ball address to exactly one device.
+class SingleStrategy {
+ public:
+  virtual ~SingleStrategy() = default;
+
+  /// Device that stores the (single copy of the) ball.
+  [[nodiscard]] virtual DeviceId place(std::uint64_t address) const = 0;
+
+  /// Human-readable strategy name (for reports).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of devices known to this strategy.
+  [[nodiscard]] virtual std::size_t device_count() const = 0;
+};
+
+/// Maps a ball address to k pairwise-distinct devices.
+class ReplicationStrategy {
+ public:
+  virtual ~ReplicationStrategy() = default;
+
+  /// Fills `out` (size == replication()) with the devices of copies
+  /// 0..k-1.  Entries are pairwise distinct.
+  virtual void place(std::uint64_t address, std::span<DeviceId> out) const = 0;
+
+  /// Convenience overload returning a fresh vector.
+  [[nodiscard]] std::vector<DeviceId> place(std::uint64_t address) const {
+    std::vector<DeviceId> out(replication());
+    place(address, out);
+    return out;
+  }
+
+  /// Replication degree k.
+  [[nodiscard]] virtual unsigned replication() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual std::size_t device_count() const = 0;
+};
+
+/// Throws std::invalid_argument unless the output span matches k.
+inline void check_out_span(std::span<const DeviceId> out, unsigned k) {
+  if (out.size() != k) {
+    throw std::invalid_argument(
+        "ReplicationStrategy::place: output span size != replication degree");
+  }
+}
+
+}  // namespace rds

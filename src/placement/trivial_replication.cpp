@@ -1,0 +1,54 @@
+#include "src/placement/trivial_replication.hpp"
+
+#include <stdexcept>
+
+#include "src/placement/rendezvous.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+TrivialReplication::TrivialReplication(const ClusterConfig& config, unsigned k,
+                                       TrivialBackend backend,
+                                       std::uint64_t salt)
+    : k_(k), backend_(backend), salt_(salt) {
+  if (k == 0) throw std::invalid_argument("TrivialReplication: k == 0");
+  if (config.size() < k) {
+    throw std::invalid_argument("TrivialReplication: fewer devices than k");
+  }
+  candidates_.reserve(config.size());
+  for (const Device& d : config.devices()) {
+    candidates_.push_back({d.uid, static_cast<double>(d.capacity)});
+  }
+  if (backend_ == TrivialBackend::kRingWalk) {
+    ring_ = std::make_unique<ConsistentHashing>(config, 256, salt);
+  }
+}
+
+void TrivialReplication::place(std::uint64_t address,
+                               std::span<DeviceId> out) const {
+  check_out_span(out, k_);
+  switch (backend_) {
+    case TrivialBackend::kExactRace:
+      rendezvous_top_k(address, salt_, candidates_, out);
+      return;
+    case TrivialBackend::kRingWalk:
+      for (unsigned j = 0; j < k_; ++j) {
+        // Draw j excludes the already chosen devices, per Definition 2.3.
+        const DeviceId uid = ring_->place_excluding(
+            hash_combine(address, j), std::span<const DeviceId>(out.data(), j));
+        if (uid == kNoDevice) {
+          throw std::runtime_error("TrivialReplication: ring exhausted");
+        }
+        out[j] = uid;
+      }
+      return;
+  }
+  throw std::logic_error("TrivialReplication: unknown backend");
+}
+
+std::string TrivialReplication::name() const {
+  return backend_ == TrivialBackend::kExactRace ? "trivial(exact-race)"
+                                                : "trivial(ring-walk)";
+}
+
+}  // namespace rds

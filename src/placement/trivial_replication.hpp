@@ -1,0 +1,56 @@
+// The trivial replication strategy (Definition 2.3): k successive fair
+// draws, where each draw is proportional to the bins' constant relative
+// weights among the bins not yet chosen.
+//
+// This is the paper's negative result (Lemma 2.4): it is NOT capacity
+// efficient -- the largest bin receives strictly less than its fair share as
+// soon as it is more than epsilon larger than the rest, wasting capacity
+// (1/12 of the total already on {2,1,1} with k=2, Figure 1).  We implement
+// it exactly so the benchmarks can reproduce that loss.
+//
+// Two backends:
+//  * kExactRace  -- one weighted rendezvous ranking; taking the top-k is
+//    distributionally identical to k successive weighted draws without
+//    replacement (the exponential race theorem), so this is the *exact*
+//    trivial strategy.
+//  * kRingWalk   -- k draws on a consistent-hashing ring where already
+//    chosen devices' points are skipped: the practical P2P implementation
+//    the paper alludes to (approximately fair per draw).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/placement/consistent_hashing.hpp"
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+enum class TrivialBackend {
+  kExactRace,  ///< exact successive weighted draws (rendezvous top-k)
+  kRingWalk,   ///< consistent-hashing ring, skipping chosen devices
+};
+
+class TrivialReplication final : public ReplicationStrategy {
+ public:
+  TrivialReplication(const ClusterConfig& config, unsigned k,
+                     TrivialBackend backend = TrivialBackend::kExactRace,
+                     std::uint64_t salt = 0);
+
+  void place(std::uint64_t address, std::span<DeviceId> out) const override;
+  using ReplicationStrategy::place;
+  [[nodiscard]] unsigned replication() const override { return k_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return candidates_.size();
+  }
+
+ private:
+  std::vector<Candidate> candidates_;
+  std::unique_ptr<ConsistentHashing> ring_;  // kRingWalk only
+  unsigned k_;
+  TrivialBackend backend_;
+  std::uint64_t salt_;
+};
+
+}  // namespace rds

@@ -1,0 +1,67 @@
+#include "src/placement/weighted_dht.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+WeightedDht::WeightedDht(const ClusterConfig& config, DhtDistance distance,
+                         unsigned points_per_device, std::uint64_t salt)
+    : distance_(distance), device_count_(config.size()), salt_(salt) {
+  if (config.empty()) throw std::invalid_argument("WeightedDht: empty cluster");
+  if (points_per_device == 0) {
+    throw std::invalid_argument("WeightedDht: zero points per device");
+  }
+  points_.reserve(config.size() * points_per_device);
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    const Device& d = config[i];
+    for (unsigned v = 0; v < points_per_device; ++v) {
+      points_.push_back({to_unit(hash3(d.uid, v, salt_)),
+                         static_cast<double>(d.capacity), d.uid});
+    }
+  }
+  std::ranges::sort(points_, [](const Point& a, const Point& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return a.uid < b.uid;
+  });
+}
+
+DeviceId WeightedDht::place(std::uint64_t address) const {
+  const double x = to_unit(mix64(address ^ (salt_ + 0x0ddba11ULL)));
+  // Clockwise distance from x to every point; the weighted-minimal one wins.
+  // O(#points): each point's distance is (p - x) mod 1.
+  DeviceId best = kNoDevice;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Point& p : points_) {
+    double dist = p.position - x;
+    if (dist < 0.0) dist += 1.0;
+    double cost;
+    switch (distance_) {
+      case DhtDistance::kLinear:
+        cost = dist / p.weight;
+        break;
+      case DhtDistance::kLogarithmic:
+        // dist in [0,1): -log1p(-dist) is finite and monotone.
+        cost = -std::log1p(-dist) / p.weight;
+        break;
+      default:
+        throw std::logic_error("WeightedDht: unknown distance");
+    }
+    if (cost < best_cost || (cost == best_cost && p.uid < best)) {
+      best_cost = cost;
+      best = p.uid;
+    }
+  }
+  return best;
+}
+
+std::string WeightedDht::name() const {
+  return distance_ == DhtDistance::kLinear ? "weighted-dht(linear)"
+                                           : "weighted-dht(logarithmic)";
+}
+
+}  // namespace rds

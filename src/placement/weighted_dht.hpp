@@ -1,0 +1,64 @@
+// Weighted distributed hash tables (Schindelhauer & Schomaker, SPAA 2005)
+// -- the paper's reference [11].
+//
+// Both methods place one (or v) ring point(s) per device and assign a ball
+// at ring position x to the device minimizing a *weighted distance* from its
+// point p to x:
+//
+//   linear method:       dist(x, p) / w
+//   logarithmic method:  -ln(1 - dist(x, p)) / w
+//
+// with dist the clockwise distance on the unit circle.  Over the random
+// choice of the points, dist(x, p) is uniform on [0,1) and -ln(1-dist) is a
+// rate-1 exponential, so the logarithmic method wins with probability
+// w_i / sum w_j *in expectation over the ring layout* for any weight ratio
+// -- whereas the linear method's expected share is systematically biased for
+// skewed weights, which is why [11] introduces the logarithmic variant.
+// For a fixed ring both fluctuate around their expectation like consistent
+// hashing does; more points per device tighten the concentration.  Unlike
+// rendezvous hashing (one hash per lookup *pair*), the randomness here is
+// frozen into one stored point per device, making lookups table-driven.
+// We ship both variants so the benchmarks can show the difference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+enum class DhtDistance {
+  kLinear,       ///< dist / w  (approximate fairness)
+  kLogarithmic,  ///< -ln(1 - dist) / w  (exact fairness)
+};
+
+class WeightedDht final : public SingleStrategy {
+ public:
+  /// `points_per_device` > 1 sharpens the linear method's fairness and
+  /// smooths adaptivity; the logarithmic method is exact already at 1.
+  explicit WeightedDht(const ClusterConfig& config,
+                       DhtDistance distance = DhtDistance::kLogarithmic,
+                       unsigned points_per_device = 1,
+                       std::uint64_t salt = 0);
+
+  [[nodiscard]] DeviceId place(std::uint64_t address) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t device_count() const override {
+    return device_count_;
+  }
+
+ private:
+  struct Point {
+    double position;  // on the unit circle
+    double weight;
+    DeviceId uid;
+  };
+
+  std::vector<Point> points_;  // sorted by position
+  DhtDistance distance_;
+  std::size_t device_count_ = 0;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace rds

@@ -1,0 +1,82 @@
+#include "src/sim/block_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace rds {
+
+BlockMap::BlockMap(const ReplicationStrategy& strategy,
+                   std::uint64_t ball_count, std::uint64_t base_address)
+    : balls_(ball_count), k_(strategy.replication()) {
+  entries_.resize(balls_ * k_);
+  addresses_.resize(balls_);
+  for (std::uint64_t b = 0; b < balls_; ++b) {
+    addresses_[b] = base_address + b;
+    strategy.place(addresses_[b], {entries_.data() + b * k_, k_});
+  }
+}
+
+BlockMap::BlockMap(const ReplicationStrategy& strategy,
+                   std::span<const std::uint64_t> addresses)
+    : balls_(addresses.size()), k_(strategy.replication()) {
+  entries_.resize(balls_ * k_);
+  addresses_.assign(addresses.begin(), addresses.end());
+  for (std::uint64_t b = 0; b < balls_; ++b) {
+    strategy.place(addresses_[b], {entries_.data() + b * k_, k_});
+  }
+}
+
+BlockMap BlockMap::build_parallel(const ReplicationStrategy& strategy,
+                                  std::uint64_t ball_count, unsigned threads,
+                                  std::uint64_t base_address) {
+  if (threads == 0) {
+    throw std::invalid_argument("BlockMap::build_parallel: zero threads");
+  }
+  BlockMap map;
+  map.balls_ = ball_count;
+  map.k_ = strategy.replication();
+  map.entries_.resize(ball_count * map.k_);
+  map.addresses_.resize(ball_count);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::uint64_t chunk = (ball_count + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::uint64_t begin = t * chunk;
+    const std::uint64_t end = std::min(ball_count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&map, &strategy, base_address, begin, end] {
+      const unsigned k = map.k_;
+      for (std::uint64_t b = begin; b < end; ++b) {
+        map.addresses_[b] = base_address + b;
+        strategy.place(map.addresses_[b], {map.entries_.data() + b * k, k});
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return map;
+}
+
+std::unordered_map<DeviceId, std::uint64_t> BlockMap::device_counts() const {
+  std::unordered_map<DeviceId, std::uint64_t> counts;
+  for (const DeviceId uid : entries_) ++counts[uid];
+  return counts;
+}
+
+std::uint64_t BlockMap::count_on(DeviceId uid) const {
+  return static_cast<std::uint64_t>(std::ranges::count(entries_, uid));
+}
+
+bool BlockMap::redundancy_holds() const {
+  std::vector<DeviceId> group;
+  for (std::uint64_t b = 0; b < balls_; ++b) {
+    const auto c = copies(b);
+    group.assign(c.begin(), c.end());
+    std::ranges::sort(group);
+    if (std::ranges::adjacent_find(group) != group.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace rds

@@ -1,0 +1,77 @@
+// Request-service simulation: FCFS queueing at every device.
+//
+// The paper's fairness notion covers requests as well as data ("every
+// storage device with x% of the available capacity gets x% of the data and
+// the requests").  This simulator replays a request trace against a
+// materialized placement and measures what that fairness buys: per-device
+// utilization and end-to-end response times.  Each device is an FCFS server
+// with a fixed per-request overhead plus a transfer time; requests arrive
+// open-loop (the arrival process is part of the trace).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/util/random.hpp"
+
+namespace rds {
+
+/// Service-time model of one device.
+struct DiskPerf {
+  double seek_us = 100.0;       ///< fixed per-request overhead
+  double us_per_block = 10.0;   ///< transfer time per request (one block)
+
+  [[nodiscard]] double service_us() const noexcept {
+    return seek_us + us_per_block;
+  }
+};
+
+/// One read request in the trace.
+struct Request {
+  double arrival_us = 0.0;
+  std::uint64_t ball = 0;
+};
+
+/// How a read picks among the k replicas of its ball.
+enum class ReplicaPolicy {
+  kPrimaryOnly,   ///< always copy 0 (what naive clients do)
+  kRoundRobin,    ///< copy (request index mod k)
+  kLeastLoaded,   ///< the replica whose device frees up first
+};
+
+struct DeviceLoad {
+  DeviceId uid = kNoDevice;
+  std::uint64_t requests = 0;
+  double busy_us = 0.0;
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+struct SimulationResult {
+  double makespan_us = 0.0;
+  double mean_response_us = 0.0;
+  double p99_response_us = 0.0;
+  double max_response_us = 0.0;
+  std::vector<DeviceLoad> devices;  ///< canonical order of `config`
+
+  [[nodiscard]] double max_utilization() const;
+};
+
+/// Generates `count` Poisson arrivals at `rate_per_us` with Zipf(skew) ball
+/// popularity over `map.ball_count()` balls.
+[[nodiscard]] std::vector<Request> make_trace(const BlockMap& map,
+                                              std::uint64_t count,
+                                              double rate_per_us, double skew,
+                                              Xoshiro256& rng);
+
+/// Replays `trace` (must be sorted by arrival time) against the placement
+/// in `map`.  `perf` maps canonical device index -> service model; pass one
+/// entry to use it for every device.
+[[nodiscard]] SimulationResult simulate_requests(
+    const ClusterConfig& config, const BlockMap& map,
+    std::span<const Request> trace, std::span<const DiskPerf> perf,
+    ReplicaPolicy policy);
+
+}  // namespace rds

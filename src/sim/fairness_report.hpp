@@ -1,0 +1,43 @@
+// Fairness reporting: per-device fill levels and deviation from the fair
+// share, in the format of the paper's Figure 2/4 plots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/sim/block_map.hpp"
+
+namespace rds {
+
+struct DeviceUsage {
+  DeviceId uid = kNoDevice;
+  std::uint64_t capacity = 0;
+  double usable_capacity = 0.0;  ///< adjusted capacity b'_i (== capacity
+                                 ///< when the system is capacity efficient)
+  std::uint64_t copies = 0;      ///< copies stored
+  double fill_percent = 0.0;     ///< copies / capacity * 100 (Figure 2 y-axis)
+  double fair_copies = 0.0;      ///< k * b'_i / sum b' * balls
+  double deviation = 0.0;        ///< (copies - fair) / fair
+};
+
+struct FairnessReport {
+  std::vector<DeviceUsage> devices;  // canonical order
+  double max_abs_deviation = 0.0;
+  double rms_deviation = 0.0;
+
+  /// Aligned text table (one row per device).
+  void print(std::ostream& os, const std::string& title) const;
+};
+
+/// Builds the report for a materialized placement.  `adjusted` are the
+/// usable capacities b'_i in canonical order (pass the raw capacities if no
+/// adjustment applies); fairness targets are proportional to them.
+[[nodiscard]] FairnessReport fairness_report(const ClusterConfig& config,
+                                             std::span<const double> adjusted,
+                                             const BlockMap& map);
+
+}  // namespace rds

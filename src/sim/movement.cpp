@@ -1,0 +1,66 @@
+#include "src/sim/movement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rds {
+
+MovementReport diff_placements(const BlockMap& before, const BlockMap& after) {
+  if (before.ball_count() != after.ball_count() ||
+      before.replication() != after.replication()) {
+    throw std::invalid_argument("diff_placements: incompatible maps");
+  }
+  const unsigned k = before.replication();
+
+  MovementReport report;
+  report.total_copies = before.total_copies();
+
+  std::vector<DeviceId> a, b;
+  for (std::uint64_t ball = 0; ball < before.ball_count(); ++ball) {
+    if (before.address(ball) != after.address(ball)) {
+      throw std::invalid_argument("diff_placements: address mismatch");
+    }
+    const auto cb = before.copies(ball);
+    const auto ca = after.copies(ball);
+    for (unsigned j = 0; j < k; ++j) {
+      if (cb[j] != ca[j]) ++report.moved_indexed;
+    }
+    a.assign(ca.begin(), ca.end());
+    b.assign(cb.begin(), cb.end());
+    std::ranges::sort(a);
+    std::ranges::sort(b);
+    // |after \ before| via sorted set difference.
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.size()) {
+      if (ib == b.size() || a[ia] < b[ib]) {
+        ++report.moved_set;
+        ++ia;
+      } else if (b[ib] < a[ia]) {
+        ++ib;
+      } else {
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+
+  const auto counts_before = before.device_counts();
+  const auto counts_after = after.device_counts();
+  for (const auto& [uid, na] : counts_after) {
+    const auto it = counts_before.find(uid);
+    const std::uint64_t nb = it == counts_before.end() ? 0 : it->second;
+    if (na > nb) report.optimal_moves += na - nb;
+  }
+  return report;
+}
+
+double replaced_per_used(const MovementReport& report, const BlockMap& before,
+                         const BlockMap& after, DeviceId uid) {
+  std::uint64_t used = after.count_on(uid);
+  if (used == 0) used = before.count_on(uid);
+  if (used == 0) return 0.0;
+  return static_cast<double>(report.moved_set) / static_cast<double>(used);
+}
+
+}  // namespace rds

@@ -1,0 +1,65 @@
+// Data-movement analysis between two materialized placements.
+//
+// Quantifies the paper's adaptivity experiments (Figures 3 and 5): after a
+// configuration change, how many block copies must physically move, compared
+// with (a) the number of blocks on the affected device and (b) the
+// theoretical minimum any strategy must move to reach the new distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/block_map.hpp"
+
+namespace rds {
+
+struct MovementReport {
+  std::uint64_t total_copies = 0;  ///< balls * k
+
+  /// Copies whose device changed under *set* semantics: for each ball,
+  /// |devices(after) \ devices(before)|.  This is the data that must be
+  /// copied over the network for mirrored blocks (all replicas identical).
+  std::uint64_t moved_set = 0;
+
+  /// Copies whose device changed per copy *index*: sum over copy slots j of
+  /// [device(j, after) != device(j, before)].  This is the movement cost
+  /// when the k sub-blocks are distinct (erasure coding).
+  std::uint64_t moved_indexed = 0;
+
+  /// Minimum number of copies ANY strategy must move to turn the before
+  /// per-device distribution into the after one:
+  /// sum_d max(0, count_after(d) - count_before(d)).
+  std::uint64_t optimal_moves = 0;
+
+  [[nodiscard]] double moved_set_fraction() const {
+    return total_copies == 0
+               ? 0.0
+               : static_cast<double>(moved_set) /
+                     static_cast<double>(total_copies);
+  }
+  /// Competitive ratio under set semantics (paper's "replaced blocks"
+  /// divided by the unavoidable movement).
+  [[nodiscard]] double competitive_set() const {
+    return optimal_moves == 0 ? 0.0
+                              : static_cast<double>(moved_set) /
+                                    static_cast<double>(optimal_moves);
+  }
+  [[nodiscard]] double competitive_indexed() const {
+    return optimal_moves == 0 ? 0.0
+                              : static_cast<double>(moved_indexed) /
+                                    static_cast<double>(optimal_moves);
+  }
+};
+
+/// Compares two placements of the *same* ball population (same count, same
+/// addresses, same k).  Throws std::invalid_argument otherwise.
+[[nodiscard]] MovementReport diff_placements(const BlockMap& before,
+                                             const BlockMap& after);
+
+/// The paper's Figure 3/5 metric: moved copies (set semantics) divided by
+/// the number of copies on the affected device (`uid`) in whichever map
+/// contains it (after for insertions, before for removals).
+[[nodiscard]] double replaced_per_used(const MovementReport& report,
+                                       const BlockMap& before,
+                                       const BlockMap& after, DeviceId uid);
+
+}  // namespace rds

@@ -1,0 +1,71 @@
+// Scripted operation traces against a VirtualDisk.
+//
+// A tiny line-oriented language for reproducible storage scenarios -- used
+// by the CLI's `simulate` command and by tests to express chaos sequences
+// declaratively:
+//
+//     # grow, crash, recover
+//     write 0 1000 256
+//     add 9 50000 new-disk
+//     fail 2
+//     read 0 1000
+//     rebuild
+//     scrub
+//
+// Commands:
+//   write <first> <count> [size]   store blocks with deterministic payloads
+//   read <first> <count>           read and VERIFY against those payloads
+//   trim <first> <count>           discard blocks
+//   add <uid> <capacity> [name]    add a device (migrates)
+//   remove <uid>                   gracefully drain + remove a device
+//   resize is intentionally absent: express it as remove + add
+//   fail <uid>                     crash a device
+//   corrupt <block> <fragment>     flip bits in one stored fragment
+//   rebuild                        drop failed devices, restore redundancy
+//   repair                         fix missing/corrupt fragments in place
+//   scrub                          assert the pool is fully healthy
+//   scrub-dirty                    assert the pool is NOT fully healthy
+//
+// Blank lines and '#' comments are skipped.  Any failure (parse error,
+// verification mismatch, unexpected scrub state) throws std::runtime_error
+// with the line number.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/storage/virtual_disk.hpp"
+
+namespace rds {
+
+struct TraceStats {
+  std::uint64_t commands = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t blocks_verified = 0;
+  std::uint64_t blocks_trimmed = 0;
+  std::uint64_t topology_changes = 0;
+  std::uint64_t fragments_rebuilt = 0;
+  std::uint64_t fragments_repaired = 0;
+};
+
+class TraceRunner {
+ public:
+  explicit TraceRunner(VirtualDisk disk) : disk_(std::move(disk)) {}
+
+  /// Executes the script; throws std::runtime_error("line N: ...") on any
+  /// parse error or failed expectation.
+  TraceStats run(std::istream& script);
+
+  /// The payload `write`/`read` use for a block: reproducible from the
+  /// block id alone.
+  [[nodiscard]] static Bytes deterministic_payload(std::uint64_t block,
+                                                   std::size_t size);
+
+  [[nodiscard]] VirtualDisk& disk() noexcept { return disk_; }
+
+ private:
+  VirtualDisk disk_;
+};
+
+}  // namespace rds

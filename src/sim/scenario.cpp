@@ -1,0 +1,96 @@
+#include "src/sim/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rds {
+
+ClusterConfig paper_heterogeneous_base() {
+  std::vector<Device> devices;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    devices.push_back(
+        {i, 500'000 + i * 100'000, "disk-" + std::to_string(i)});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+ClusterConfig homogeneous_cluster(std::size_t n, std::uint64_t capacity) {
+  std::vector<Device> devices;
+  devices.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    devices.push_back({i, capacity, "disk-" + std::to_string(i)});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+std::vector<ScenarioPhase> paper_figure2_phases() {
+  std::vector<ScenarioPhase> phases;
+
+  ClusterConfig config = paper_heterogeneous_base();
+  phases.push_back({"8 disks", config});
+
+  // "To show what happens if we replace smaller bins by bigger ones we added
+  //  two times two bins.  The new bins are growing by the same factor as the
+  //  first did."  -> continue the +100k ladder.
+  config.add_device({8, 1'300'000, "disk-8"});
+  config.add_device({9, 1'400'000, "disk-9"});
+  phases.push_back({"10 disks", config});
+
+  config.add_device({10, 1'500'000, "disk-10"});
+  config.add_device({11, 1'600'000, "disk-11"});
+  phases.push_back({"12 disks", config});
+
+  // "Then we removed two times the two smallest bins."
+  config.remove_device(0);  // 500k
+  config.remove_device(1);  // 600k
+  phases.push_back({"10 disks (shrunk)", config});
+
+  config.remove_device(2);  // 700k
+  config.remove_device(3);  // 800k
+  phases.push_back({"8 disks (shrunk)", config});
+
+  return phases;
+}
+
+std::string to_string(EditKind kind) {
+  switch (kind) {
+    case EditKind::kAddBiggest: return "add biggest";
+    case EditKind::kAddSmallest: return "add smallest";
+    case EditKind::kRemoveBiggest: return "remove biggest";
+    case EditKind::kRemoveSmallest: return "remove smallest";
+  }
+  return "?";
+}
+
+EditResult apply_edit(const ClusterConfig& config, EditKind kind,
+                      DeviceId new_uid, std::uint64_t ladder_step) {
+  if (config.empty()) throw std::invalid_argument("apply_edit: empty cluster");
+  ClusterConfig next = config;
+  switch (kind) {
+    case EditKind::kAddBiggest: {
+      const std::uint64_t cap = config[0].capacity + ladder_step;
+      next.add_device({new_uid, cap, "added-big"});
+      return {std::move(next), new_uid};
+    }
+    case EditKind::kAddSmallest: {
+      const std::uint64_t smallest = config[config.size() - 1].capacity;
+      const std::uint64_t cap =
+          smallest > ladder_step ? smallest - ladder_step : smallest;
+      next.add_device({new_uid, cap, "added-small"});
+      return {std::move(next), new_uid};
+    }
+    case EditKind::kRemoveBiggest: {
+      const DeviceId uid = config[0].uid;
+      next.remove_device(uid);
+      return {std::move(next), uid};
+    }
+    case EditKind::kRemoveSmallest: {
+      const DeviceId uid = config[config.size() - 1].uid;
+      next.remove_device(uid);
+      return {std::move(next), uid};
+    }
+  }
+  throw std::logic_error("apply_edit: unknown edit kind");
+}
+
+}  // namespace rds

@@ -1,0 +1,61 @@
+// The paper's experiment scenarios (Sections 3.1, 3.2).
+//
+// Figure 2/4 scenario: start with 8 heterogeneous bins of 500,000 ..
+// 1,200,000 blocks (step 100,000); twice add two bins continuing the ladder
+// (1.3M/1.4M, then 1.5M/1.6M); then twice remove the two smallest bins.
+// After each of the five phases, measure the fill level of every bin.
+//
+// Figure 3 scenario: for heterogeneous and homogeneous bin sets, add or
+// remove a bin at the top ("big") or bottom ("small") of the capacity order
+// and count replaced blocks vs blocks on the affected bin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+
+namespace rds {
+
+/// The 8-bin heterogeneous ladder of Figure 2: 500k, 600k, ..., 1.2M.
+[[nodiscard]] ClusterConfig paper_heterogeneous_base();
+
+/// n homogeneous bins of `capacity` blocks each (uids 0..n-1).
+[[nodiscard]] ClusterConfig homogeneous_cluster(std::size_t n,
+                                                std::uint64_t capacity);
+
+/// One phase of the Figure 2/4 evolution.
+struct ScenarioPhase {
+  std::string label;      ///< e.g. "8 disks", "10 disks"
+  ClusterConfig config;
+};
+
+/// The full five-phase evolution of Figure 2/4:
+/// 8 -> 10 -> 12 -> 10 -> 8 disks.
+[[nodiscard]] std::vector<ScenarioPhase> paper_figure2_phases();
+
+/// Kinds of single-device edits used by the adaptivity experiments.
+enum class EditKind {
+  kAddBiggest,     ///< insert a device larger than all existing ones
+  kAddSmallest,    ///< insert a device smaller than all existing ones
+  kRemoveBiggest,  ///< remove the largest device
+  kRemoveSmallest, ///< remove the smallest device
+};
+
+[[nodiscard]] std::string to_string(EditKind kind);
+
+/// Applies an edit to a copy of `config` and returns the new configuration
+/// together with the uid of the affected device.  Added devices get
+/// `new_uid`; for kAddBiggest the capacity is one ladder step above the
+/// current maximum (or equal for homogeneous_step == 0), for kAddSmallest
+/// one step below the minimum (floored at 1).
+struct EditResult {
+  ClusterConfig config;
+  DeviceId affected;
+};
+[[nodiscard]] EditResult apply_edit(const ClusterConfig& config, EditKind kind,
+                                    DeviceId new_uid,
+                                    std::uint64_t ladder_step);
+
+}  // namespace rds

@@ -1,0 +1,84 @@
+#include "src/sim/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rds {
+namespace {
+
+/// expm1(t)/t, continuous at 0.
+double helper2(double t) {
+  return std::abs(t) > 1e-8 ? std::expm1(t) / t : 1.0 + t / 2.0 + t * t / 6.0;
+}
+
+/// log1p(t)/t, continuous at 0.
+double helper1(double t) {
+  return std::abs(t) > 1e-8 ? std::log1p(t) / t : 1.0 - t / 2.0 + t * t / 3.0;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sequential_addresses(std::uint64_t count,
+                                                std::uint64_t base) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(base + i);
+  return out;
+}
+
+std::vector<std::uint64_t> random_addresses(std::uint64_t count,
+                                            Xoshiro256& rng) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::uint64_t a = rng();
+    if (seen.insert(a).second) out.push_back(a);
+  }
+  return out;
+}
+
+// Rejection-inversion sampling (Hörmann & Derflinger 1996), following the
+// Apache Commons RNG formulation.  H is an antiderivative of the smooth
+// majorizer h(x) = x^-s of the Zipf pmf.
+ZipfGenerator::ZipfGenerator(std::uint64_t universe, double skew)
+    : n_(universe), s_(skew) {
+  if (universe == 0) throw std::invalid_argument("ZipfGenerator: universe=0");
+  if (skew < 0.0) throw std::invalid_argument("ZipfGenerator: negative skew");
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n_) + 0.5);
+  h_x1_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard against numerical round-off
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfGenerator::sample(Xoshiro256& rng) const {
+  if (s_ == 0.0) return rng.next_below(n_);
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.next_unit() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    double kd = std::floor(x + 0.5);
+    if (kd < 1.0) kd = 1.0;
+    if (kd > static_cast<double>(n_)) kd = static_cast<double>(n_);
+    if (kd - x <= h_x1_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return static_cast<std::uint64_t>(kd) - 1;  // 0-based, item 0 hottest
+    }
+  }
+}
+
+}  // namespace rds

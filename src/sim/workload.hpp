@@ -1,0 +1,47 @@
+// Ball-address and request workload generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.hpp"
+
+namespace rds {
+
+/// Addresses base, base+1, ..., base+m-1 (virtual block numbers of a volume;
+/// the hash layer decorrelates them, so sequential addresses are the normal
+/// case, as in the paper's simulations).
+[[nodiscard]] std::vector<std::uint64_t> sequential_addresses(
+    std::uint64_t count, std::uint64_t base = 0);
+
+/// `count` distinct pseudo-random 64-bit addresses.
+[[nodiscard]] std::vector<std::uint64_t> random_addresses(std::uint64_t count,
+                                                          Xoshiro256& rng);
+
+/// Zipf-distributed request sampler over `universe` items with skew `s`
+/// (s = 0 is uniform; s ~ 0.99 models hot-spot storage traffic).  Uses the
+/// rejection-inversion method of Hörmann & Derflinger -- O(1) per sample,
+/// no O(universe) table.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t universe, double skew);
+
+  /// Item index in [0, universe), item 0 hottest.
+  [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return s_; }
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double h_x1_;
+};
+
+}  // namespace rds

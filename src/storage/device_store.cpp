@@ -1,0 +1,66 @@
+#include "src/storage/device_store.hpp"
+
+#include <stdexcept>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+std::size_t FragmentKeyHash::operator()(const FragmentKey& k) const noexcept {
+  return static_cast<std::size_t>(hash2(
+      k.block, (static_cast<std::uint64_t>(k.volume) << 32) | k.fragment));
+}
+
+DeviceStore::DeviceStore(Device device) : device_(std::move(device)) {}
+
+void DeviceStore::write(const FragmentKey& key,
+                        std::vector<std::uint8_t> payload) {
+  if (failed_) {
+    throw std::runtime_error("DeviceStore: write to failed device " +
+                             device_.name);
+  }
+  const auto it = data_.find(key);
+  if (it != data_.end()) {
+    it->second = std::move(payload);  // overwrite in place
+    return;
+  }
+  if (data_.size() >= device_.capacity) {
+    throw std::runtime_error("DeviceStore: device full: " + device_.name);
+  }
+  data_.emplace(key, std::move(payload));
+}
+
+std::optional<std::vector<std::uint8_t>> DeviceStore::read(
+    const FragmentKey& key) const {
+  if (failed_) return std::nullopt;
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DeviceStore::contains(const FragmentKey& key) const {
+  return !failed_ && data_.contains(key);
+}
+
+bool DeviceStore::erase(const FragmentKey& key) { return data_.erase(key) > 0; }
+
+std::uint64_t DeviceStore::used_by_volume(std::uint32_t volume) const {
+  std::uint64_t count = 0;
+  for (const auto& [key, payload] : data_) {
+    if (key.volume == volume) ++count;
+  }
+  return count;
+}
+
+bool DeviceStore::corrupt(const FragmentKey& key) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  if (it->second.empty()) {
+    it->second.push_back(0xEE);  // growth is also corruption
+  } else {
+    it->second[it->second.size() / 2] ^= 0x5A;
+  }
+  return true;
+}
+
+}  // namespace rds

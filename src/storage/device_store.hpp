@@ -1,0 +1,92 @@
+// In-memory simulation of one physical storage device.
+//
+// Substitution note (see DESIGN.md): the paper's evaluation is itself a
+// block-count simulation; this store adds actual byte payloads so the
+// virtualization layer above can be tested end-to-end (write -> migrate ->
+// fail -> rebuild -> read back), while every placement-level number stays
+// identical to a hardware deployment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/device.hpp"
+
+namespace rds {
+
+/// Key of one stored fragment: (logical block address, fragment index,
+/// owning volume).  The volume field namespaces co-hosted volumes that
+/// share one set of device stores (see storage/storage_pool.hpp).
+struct FragmentKey {
+  std::uint64_t block = 0;
+  std::uint32_t fragment = 0;
+  std::uint32_t volume = 0;
+
+  friend bool operator==(const FragmentKey&, const FragmentKey&) = default;
+};
+
+struct FragmentKeyHash {
+  [[nodiscard]] std::size_t operator()(const FragmentKey& k) const noexcept;
+};
+
+class DeviceStore {
+ public:
+  /// `capacity` is in fragments (the paper's "balls").
+  explicit DeviceStore(Device device);
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return data_.size(); }
+
+  /// Fragments stored for one volume (pool mode shares a store across
+  /// volumes).  O(stored fragments).
+  [[nodiscard]] std::uint64_t used_by_volume(std::uint32_t volume) const;
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return device_.capacity;
+  }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Stores a fragment.  Throws std::runtime_error when the device is
+  /// failed or full (and the key is new).
+  void write(const FragmentKey& key, std::vector<std::uint8_t> payload);
+
+  /// Reads a fragment; nullopt if absent or the device is failed.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> read(
+      const FragmentKey& key) const;
+
+  [[nodiscard]] bool contains(const FragmentKey& key) const;
+
+  /// Removes a fragment if present; returns whether it existed.
+  bool erase(const FragmentKey& key);
+
+  /// All stored fragments (serialization/diagnostics).
+  [[nodiscard]] const std::unordered_map<FragmentKey, std::vector<std::uint8_t>,
+                                         FragmentKeyHash>&
+  contents() const noexcept {
+    return data_;
+  }
+
+  /// Simulates a crash: all stored data becomes unreadable.
+  void fail() noexcept { failed_ = true; }
+
+  /// Simulates silent data corruption (bit rot): flips a byte of the
+  /// stored payload, or truncates an empty payload marker.  Returns whether
+  /// the fragment existed.  Test/chaos hook.
+  bool corrupt(const FragmentKey& key);
+
+  /// Device replaced by a fresh, empty unit with the same uid.
+  void replace() noexcept {
+    failed_ = false;
+    data_.clear();
+  }
+
+ private:
+  Device device_;
+  std::unordered_map<FragmentKey, std::vector<std::uint8_t>, FragmentKeyHash>
+      data_;
+  bool failed_ = false;
+};
+
+}  // namespace rds

@@ -1,0 +1,56 @@
+// EVENODD (Blaum, Brady, Bruck, Menon 1995) -- the paper's reference [1]:
+// an MDS code tolerating any two column erasures using only XOR.
+//
+// Layout for a prime p: a (p-1) x (p+2) symbol array.  Columns 0..p-1 carry
+// data, column p row parity, column p+1 diagonal parity.  With an imaginary
+// all-zero row p-1 and the special diagonal sum
+//     S = XOR_{t=1..p-1} a[p-1-t][t],
+// the parities are
+//     a[i][p]   = XOR_j a[i][j]
+//     a[i][p+1] = S ^ XOR_{(r+j) mod p == i} a[r][j].
+// Any two lost columns are recovered by the zigzag chase through rows and
+// diagonals (each alternating equation has exactly one unknown).
+//
+// Here a "symbol" is a byte chunk: a block is split into p columns of p-1
+// chunks each.  Fragment j of the RedundancyScheme is column j -- which is
+// why the placement layer's copy identification matters: the two parity
+// columns are not interchangeable with data columns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/storage/redundancy_scheme.hpp"
+
+namespace rds {
+
+class EvenOddScheme final : public RedundancyScheme {
+ public:
+  /// `p` must be an odd prime (3, 5, 7, ...).  Fragments: p data + 2 parity.
+  explicit EvenOddScheme(unsigned p);
+
+  [[nodiscard]] unsigned fragment_count() const override { return p_ + 2; }
+  [[nodiscard]] unsigned min_fragments() const override { return p_; }
+  [[nodiscard]] std::vector<Bytes> encode(
+      std::span<const std::uint8_t> block) const override;
+  [[nodiscard]] Bytes decode(std::span<const std::optional<Bytes>> fragments,
+                             std::size_t block_size) const override;
+  [[nodiscard]] Bytes reconstruct_fragment(
+      std::span<const std::optional<Bytes>> fragments,
+      unsigned target) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned prime() const noexcept { return p_; }
+
+ private:
+  /// Recovers all p+2 columns from fragments with <= 2 missing.  Columns
+  /// are returned as symbol grids: col[j] has p-1 chunks of `chunk` bytes.
+  [[nodiscard]] std::vector<std::vector<Bytes>> recover(
+      std::span<const std::optional<Bytes>> fragments) const;
+
+  unsigned p_;
+};
+
+}  // namespace rds

@@ -1,0 +1,47 @@
+#include "src/storage/erasure/parity.hpp"
+
+#include <stdexcept>
+
+namespace rds {
+
+std::vector<std::uint8_t> xor_parity(
+    std::span<const std::vector<std::uint8_t>> data_shards) {
+  if (data_shards.empty()) {
+    throw std::invalid_argument("xor_parity: no shards");
+  }
+  std::vector<std::uint8_t> parity(data_shards.front().size(), 0);
+  for (const std::vector<std::uint8_t>& s : data_shards) {
+    if (s.size() != parity.size()) {
+      throw std::invalid_argument("xor_parity: shard size mismatch");
+    }
+    for (std::size_t i = 0; i < s.size(); ++i) parity[i] ^= s[i];
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> xor_reconstruct(
+    std::span<const std::optional<std::vector<std::uint8_t>>> shards) {
+  std::size_t missing = 0;
+  std::size_t size = 0;
+  for (const auto& s : shards) {
+    if (!s) {
+      ++missing;
+    } else {
+      size = s->size();
+    }
+  }
+  if (missing != 1) {
+    throw std::invalid_argument("xor_reconstruct: need exactly one missing");
+  }
+  std::vector<std::uint8_t> out(size, 0);
+  for (const auto& s : shards) {
+    if (!s) continue;
+    if (s->size() != size) {
+      throw std::invalid_argument("xor_reconstruct: shard size mismatch");
+    }
+    for (std::size_t i = 0; i < size; ++i) out[i] ^= (*s)[i];
+  }
+  return out;
+}
+
+}  // namespace rds

@@ -1,0 +1,24 @@
+// Single XOR parity (the RAID-4/5 code): d data shards + 1 parity shard,
+// tolerates one loss.  A special case of Reed-Solomon kept separate because
+// it is branch-free and the natural baseline for the erasure benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+/// Parity shard of equal-size data shards.  Throws on empty input or size
+/// mismatch.
+[[nodiscard]] std::vector<std::uint8_t> xor_parity(
+    std::span<const std::vector<std::uint8_t>> data_shards);
+
+/// Reconstructs the single missing shard (data or parity) of a d+1 group.
+/// `shards` has d+1 entries, exactly one nullopt.  Throws if zero or more
+/// than one shard is missing.
+[[nodiscard]] std::vector<std::uint8_t> xor_reconstruct(
+    std::span<const std::optional<std::vector<std::uint8_t>>> shards);
+
+}  // namespace rds

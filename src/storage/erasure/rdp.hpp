@@ -1,0 +1,54 @@
+// Row-Diagonal Parity (Corbett et al., FAST 2004) -- the paper's reference
+// [3]: the second classical XOR-only double-erasure code.
+//
+// Layout for a prime p: a (p-1) x (p+1) symbol array.  Columns 0..p-2 carry
+// data, column p-1 row parity (over the data), column p diagonal parity.
+// Diagonals run through the data AND the row-parity column ((r + j) mod p
+// for j in [0, p-1]), with an imaginary all-zero row p-1; the diagonal
+// p-1 is "missing" (not stored).  Because the diagonals cover the row
+// parity, any two column losses are recoverable by alternately applying
+// row and diagonal equations; we solve that system with a peeling solver
+// (repeatedly apply any equation with exactly one unknown), which is the
+// textbook chase without its easy-to-get-wrong direction bookkeeping.
+//
+// Fragment j of the RedundancyScheme is column j; p-1 data fragments + 2
+// parity fragments, any p-1 of p+1 reconstruct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/storage/redundancy_scheme.hpp"
+
+namespace rds {
+
+class RdpScheme final : public RedundancyScheme {
+ public:
+  /// `p` must be an odd prime; the code has p-1 data + 2 parity fragments.
+  explicit RdpScheme(unsigned p);
+
+  [[nodiscard]] unsigned fragment_count() const override { return p_ + 1; }
+  [[nodiscard]] unsigned min_fragments() const override { return p_ - 1; }
+  [[nodiscard]] std::vector<Bytes> encode(
+      std::span<const std::uint8_t> block) const override;
+  [[nodiscard]] Bytes decode(std::span<const std::optional<Bytes>> fragments,
+                             std::size_t block_size) const override;
+  [[nodiscard]] Bytes reconstruct_fragment(
+      std::span<const std::optional<Bytes>> fragments,
+      unsigned target) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] unsigned prime() const noexcept { return p_; }
+
+ private:
+  /// Recovers all p+1 columns (as symbol grids: col[j][row]) from
+  /// fragments with <= 2 missing.
+  [[nodiscard]] std::vector<std::vector<Bytes>> recover(
+      std::span<const std::optional<Bytes>> fragments) const;
+
+  unsigned p_;
+};
+
+}  // namespace rds

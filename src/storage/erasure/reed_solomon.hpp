@@ -1,0 +1,58 @@
+// Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy encoding
+// matrix: d data shards + p parity shards, any d of the d+p shards
+// reconstruct the data.  d + p <= 256.
+//
+// This is the erasure substrate the paper points at in Section 3 ("if data
+// is distributed according to an erasure code, each sub-block has a
+// different meaning"): shard index == copy index from Redundant Share.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+class ReedSolomon {
+ public:
+  /// Throws std::invalid_argument unless 1 <= d, 0 <= p, d + p <= 256.
+  ReedSolomon(unsigned data_shards, unsigned parity_shards);
+
+  [[nodiscard]] unsigned data_shards() const noexcept { return d_; }
+  [[nodiscard]] unsigned parity_shards() const noexcept { return p_; }
+  [[nodiscard]] unsigned total_shards() const noexcept { return d_ + p_; }
+
+  /// Splits `block` into d data shards (zero-padded to a multiple of d) and
+  /// appends p parity shards.  Result: d+p shards of equal size.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::uint8_t> block) const;
+
+  /// Reconstructs the original block from any >= d present shards.
+  /// `shards[i]` is shard i or nullopt if lost; all present shards must have
+  /// equal size.  `block_size` trims the zero padding.  Throws
+  /// std::invalid_argument on fewer than d shards or size mismatches.
+  [[nodiscard]] std::vector<std::uint8_t> decode(
+      std::span<const std::optional<std::vector<std::uint8_t>>> shards,
+      std::size_t block_size) const;
+
+  /// Reconstructs a *single* missing shard (what a rebuild after one device
+  /// failure needs) without materializing the whole block.
+  [[nodiscard]] std::vector<std::uint8_t> reconstruct_shard(
+      std::span<const std::optional<std::vector<std::uint8_t>>> shards,
+      unsigned target) const;
+
+ private:
+  /// Row `r` of the (d+p) x d encoding matrix (identity on top, Cauchy
+  /// below): shard r = sum_c row[c] * data[c].
+  [[nodiscard]] std::vector<std::uint8_t> matrix_row(unsigned r) const;
+
+  /// Recovers all d data shards from >= d present shards.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> recover_data(
+      std::span<const std::optional<std::vector<std::uint8_t>>> shards) const;
+
+  unsigned d_;
+  unsigned p_;
+};
+
+}  // namespace rds

@@ -1,0 +1,87 @@
+#include "src/storage/file_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rds {
+
+FileStore::FileStore(VirtualDisk disk, std::size_t block_size)
+    : disk_(std::move(disk)), block_size_(block_size) {
+  if (block_size_ == 0) {
+    throw std::invalid_argument("FileStore: zero block size");
+  }
+}
+
+std::uint64_t FileStore::allocate_block() {
+  if (!free_blocks_.empty()) {
+    const std::uint64_t id = free_blocks_.back();
+    free_blocks_.pop_back();
+    return id;
+  }
+  return next_block_++;
+}
+
+void FileStore::release_blocks(const FileEntry& entry) {
+  for (const std::uint64_t id : entry.block_ids) disk_.trim(id);
+  free_blocks_.insert(free_blocks_.end(), entry.block_ids.begin(),
+                      entry.block_ids.end());
+}
+
+void FileStore::put(const std::string& name,
+                    std::span<const std::uint8_t> content) {
+  // Replace semantics: free the old blocks after the new content is in
+  // place so a failed write cannot orphan the previous version's metadata.
+  FileEntry entry;
+  entry.size = content.size();
+  const std::uint64_t blocks =
+      (content.size() + block_size_ - 1) / block_size_;
+  entry.block_ids.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t id = allocate_block();
+    const std::size_t begin = static_cast<std::size_t>(b) * block_size_;
+    const std::size_t end =
+        std::min(content.size(), begin + block_size_);
+    disk_.write(id, content.subspan(begin, end - begin));
+    entry.block_ids.push_back(id);
+  }
+
+  const auto old = files_.find(name);
+  if (old != files_.end()) {
+    release_blocks(old->second);
+    old->second = std::move(entry);
+  } else {
+    files_.emplace(name, std::move(entry));
+  }
+}
+
+std::optional<Bytes> FileStore::get(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return std::nullopt;
+  Bytes content;
+  content.reserve(it->second.size);
+  for (const std::uint64_t id : it->second.block_ids) {
+    const Bytes block = disk_.read(id);
+    content.insert(content.end(), block.begin(), block.end());
+  }
+  content.resize(it->second.size);
+  return content;
+}
+
+bool FileStore::remove(const std::string& name) {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return false;
+  release_blocks(it->second);
+  files_.erase(it);
+  return true;
+}
+
+std::vector<FileInfo> FileStore::list() const {
+  std::vector<FileInfo> out;
+  out.reserve(files_.size());
+  for (const auto& [name, entry] : files_) {
+    out.push_back({name, entry.size, entry.block_ids.size()});
+  }
+  return out;
+}
+
+}  // namespace rds

@@ -1,0 +1,32 @@
+#include "src/storage/migration.hpp"
+
+#include <stdexcept>
+
+namespace rds {
+
+MigrationPlan plan_migration(const ReplicationStrategy& before,
+                             const ReplicationStrategy& after,
+                             std::span<const std::uint64_t> blocks) {
+  if (before.replication() != after.replication()) {
+    throw std::invalid_argument("plan_migration: replication mismatch");
+  }
+  const unsigned k = before.replication();
+
+  MigrationPlan plan;
+  plan.total_fragments = blocks.size() * k;
+  std::vector<DeviceId> old_loc(k), new_loc(k);
+  for (const std::uint64_t block : blocks) {
+    before.place(block, old_loc);
+    after.place(block, new_loc);
+    for (unsigned j = 0; j < k; ++j) {
+      if (old_loc[j] == new_loc[j]) {
+        ++plan.unchanged_fragments;
+      } else {
+        plan.moves.push_back({block, j, old_loc[j], new_loc[j]});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace rds

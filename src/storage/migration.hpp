@@ -1,0 +1,41 @@
+// Migration planning: the minimal fragment moves between two placement
+// strategies over the same block population.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+struct FragmentMove {
+  std::uint64_t block = 0;
+  std::uint32_t fragment = 0;  ///< copy index
+  DeviceId from = kNoDevice;
+  DeviceId to = kNoDevice;
+};
+
+struct MigrationPlan {
+  std::vector<FragmentMove> moves;
+  std::uint64_t unchanged_fragments = 0;
+  std::uint64_t total_fragments = 0;
+
+  [[nodiscard]] double moved_fraction() const noexcept {
+    return total_fragments == 0
+               ? 0.0
+               : static_cast<double>(moves.size()) /
+                     static_cast<double>(total_fragments);
+  }
+};
+
+/// Computes the per-fragment moves required to re-place `blocks` from
+/// `before` to `after`.  Both strategies must have the same replication
+/// degree.  A fragment moves iff its copy-index slot lands on a different
+/// device (erasure semantics -- fragment identity matters).
+[[nodiscard]] MigrationPlan plan_migration(const ReplicationStrategy& before,
+                                           const ReplicationStrategy& after,
+                                           std::span<const std::uint64_t> blocks);
+
+}  // namespace rds

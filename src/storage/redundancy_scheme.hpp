@@ -1,0 +1,97 @@
+// Redundancy schemes: how one logical block becomes k placed fragments.
+//
+// The paper stresses that Redundant Share "is always able to clearly
+// identify the i-th of k copies" -- this interface is where that matters:
+// fragment i of a block is whatever the scheme says fragment i is (an
+// identical mirror copy, or a specific erasure-code shard), and placement
+// copy index i stores exactly fragment i.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/storage/erasure/reed_solomon.hpp"
+
+namespace rds {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class RedundancyScheme {
+ public:
+  virtual ~RedundancyScheme() = default;
+
+  /// Number of fragments per block (the placement degree k).
+  [[nodiscard]] virtual unsigned fragment_count() const = 0;
+
+  /// Minimum number of fragments needed to reconstruct a block.
+  [[nodiscard]] virtual unsigned min_fragments() const = 0;
+
+  /// Splits/encodes a block into fragment_count() fragments.
+  [[nodiscard]] virtual std::vector<Bytes> encode(
+      std::span<const std::uint8_t> block) const = 0;
+
+  /// Reconstructs the block from >= min_fragments() present fragments
+  /// (indexed by fragment number; nullopt = lost).  `block_size` is the
+  /// original block length.  Throws std::invalid_argument if too few
+  /// fragments are present.
+  [[nodiscard]] virtual Bytes decode(
+      std::span<const std::optional<Bytes>> fragments,
+      std::size_t block_size) const = 0;
+
+  /// Recomputes one lost fragment from the present ones (rebuild path).
+  [[nodiscard]] virtual Bytes reconstruct_fragment(
+      std::span<const std::optional<Bytes>> fragments,
+      unsigned target) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// k identical copies; any single copy reconstructs the block.
+class MirroringScheme final : public RedundancyScheme {
+ public:
+  explicit MirroringScheme(unsigned k);
+
+  [[nodiscard]] unsigned fragment_count() const override { return k_; }
+  [[nodiscard]] unsigned min_fragments() const override { return 1; }
+  [[nodiscard]] std::vector<Bytes> encode(
+      std::span<const std::uint8_t> block) const override;
+  [[nodiscard]] Bytes decode(std::span<const std::optional<Bytes>> fragments,
+                             std::size_t block_size) const override;
+  [[nodiscard]] Bytes reconstruct_fragment(
+      std::span<const std::optional<Bytes>> fragments,
+      unsigned target) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  unsigned k_;
+};
+
+/// Reed-Solomon d+p: k = d+p fragments, any d reconstruct.
+class ReedSolomonScheme final : public RedundancyScheme {
+ public:
+  ReedSolomonScheme(unsigned data_shards, unsigned parity_shards);
+
+  [[nodiscard]] unsigned fragment_count() const override {
+    return rs_.total_shards();
+  }
+  [[nodiscard]] unsigned min_fragments() const override {
+    return rs_.data_shards();
+  }
+  [[nodiscard]] std::vector<Bytes> encode(
+      std::span<const std::uint8_t> block) const override;
+  [[nodiscard]] Bytes decode(std::span<const std::optional<Bytes>> fragments,
+                             std::size_t block_size) const override;
+  [[nodiscard]] Bytes reconstruct_fragment(
+      std::span<const std::optional<Bytes>> fragments,
+      unsigned target) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  ReedSolomon rs_;
+};
+
+}  // namespace rds

@@ -1,0 +1,301 @@
+#include "src/storage/snapshot.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "src/storage/erasure/evenodd.hpp"
+#include "src/storage/erasure/rdp.hpp"
+
+namespace rds {
+namespace {
+
+constexpr char kDiskMagic[] = "RDSDISK1";
+constexpr char kPoolMagic[] = "RDSPOOL1";
+
+// ---- little-endian primitives ---------------------------------------------
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void put_bytes(std::ostream& out, const Bytes& b) {
+  put_u64(out, b.size());
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == std::char_traits<char>::eof()) {
+    throw std::runtime_error("snapshot: truncated stream");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(get_u8(in)) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(get_u8(in)) << (8 * i);
+  return v;
+}
+
+std::string get_string(std::istream& in) {
+  const std::uint32_t size = get_u32(in);
+  std::string s(size, '\0');
+  in.read(s.data(), size);
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw std::runtime_error("snapshot: truncated stream");
+  }
+  return s;
+}
+
+Bytes get_bytes(std::istream& in) {
+  const std::uint64_t size = get_u64(in);
+  Bytes b(size);
+  in.read(reinterpret_cast<char*>(b.data()),
+          static_cast<std::streamsize>(size));
+  if (in.gcount() != static_cast<std::streamsize>(size)) {
+    throw std::runtime_error("snapshot: truncated stream");
+  }
+  return b;
+}
+
+void expect_magic(std::istream& in, const char* magic) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() != 8 || std::string(buf, 8) != std::string(magic, 8)) {
+    throw std::runtime_error("snapshot: bad magic/version");
+  }
+}
+
+// ---- sections --------------------------------------------------------------
+
+void put_config(std::ostream& out, const ClusterConfig& config) {
+  put_u32(out, static_cast<std::uint32_t>(config.size()));
+  for (const Device& d : config.devices()) {
+    put_u64(out, d.uid);
+    put_u64(out, d.capacity);
+    put_string(out, d.name);
+  }
+}
+
+ClusterConfig get_config(std::istream& in) {
+  const std::uint32_t n = get_u32(in);
+  std::vector<Device> devices;
+  devices.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Device d;
+    d.uid = get_u64(in);
+    d.capacity = get_u64(in);
+    d.name = get_string(in);
+    devices.push_back(std::move(d));
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+void put_store(std::ostream& out, const DeviceStore& store) {
+  put_u64(out, store.device().uid);
+  put_u64(out, store.device().capacity);
+  put_string(out, store.device().name);
+  put_u8(out, store.failed() ? 1 : 0);
+  // A failed device's contents are unreadable: persist the flag only.
+  if (store.failed()) {
+    put_u64(out, 0);
+    return;
+  }
+  put_u64(out, store.used());
+  for (const auto& [key, payload] : store.contents()) {
+    put_u64(out, key.block);
+    put_u32(out, key.fragment);
+    put_u32(out, key.volume);
+    put_bytes(out, payload);
+  }
+}
+
+std::shared_ptr<DeviceStore> get_store(std::istream& in) {
+  Device d;
+  d.uid = get_u64(in);
+  d.capacity = get_u64(in);
+  d.name = get_string(in);
+  const bool failed = get_u8(in) != 0;
+  auto store = std::make_shared<DeviceStore>(d);
+  const std::uint64_t fragments = get_u64(in);
+  for (std::uint64_t f = 0; f < fragments; ++f) {
+    FragmentKey key;
+    key.block = get_u64(in);
+    key.fragment = get_u32(in);
+    key.volume = get_u32(in);
+    store->write(key, get_bytes(in));
+  }
+  if (failed) store->fail();
+  return store;
+}
+
+}  // namespace
+
+void Snapshot::put_volume_meta(std::ostream& out, const VirtualDisk& disk) {
+  put_u8(out, static_cast<std::uint8_t>(disk.kind_));
+  put_u32(out, disk.volume_id_);
+  put_string(out, disk.scheme_->name());
+  put_config(out, disk.config_);
+  put_u64(out, disk.blocks_.size());
+  for (const auto& [block, size] : disk.blocks_) {
+    put_u64(out, block);
+    put_u64(out, size);
+  }
+  put_u64(out, disk.checksums_.size());
+  for (const auto& [key, sum] : disk.checksums_) {
+    put_u64(out, key.block);
+    put_u32(out, key.fragment);
+    put_u32(out, key.volume);
+    put_u64(out, sum);
+  }
+  // Stats are observability, not state: deliberately not persisted.
+}
+
+VirtualDisk Snapshot::get_volume_meta(
+    std::istream& in,
+    std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores) {
+  const auto kind = static_cast<PlacementKind>(get_u8(in));
+  const std::uint32_t volume_id = get_u32(in);
+  const std::string scheme_name = get_string(in);
+  ClusterConfig config = get_config(in);
+  VirtualDisk disk(std::move(config), make_scheme_from_name(scheme_name),
+                   kind, volume_id, std::move(stores));
+  const std::uint64_t blocks = get_u64(in);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t block = get_u64(in);
+    disk.blocks_[block] = get_u64(in);
+  }
+  const std::uint64_t sums = get_u64(in);
+  for (std::uint64_t s = 0; s < sums; ++s) {
+    FragmentKey key;
+    key.block = get_u64(in);
+    key.fragment = get_u32(in);
+    key.volume = get_u32(in);
+    disk.checksums_[key] = get_u64(in);
+  }
+  return disk;
+}
+
+std::shared_ptr<RedundancyScheme> make_scheme_from_name(
+    const std::string& name) {
+  const auto number_after = [&](const std::string& prefix) -> unsigned {
+    return static_cast<unsigned>(
+        std::stoul(name.substr(prefix.size())));
+  };
+  try {
+    if (name.starts_with("mirror(k=")) {
+      return std::make_shared<MirroringScheme>(number_after("mirror(k="));
+    }
+    if (name.starts_with("reed-solomon(")) {
+      const std::size_t plus = name.find('+');
+      const unsigned d = static_cast<unsigned>(
+          std::stoul(name.substr(13, plus - 13)));
+      const unsigned p =
+          static_cast<unsigned>(std::stoul(name.substr(plus + 1)));
+      return std::make_shared<ReedSolomonScheme>(d, p);
+    }
+    if (name.starts_with("evenodd(p=")) {
+      return std::make_shared<EvenOddScheme>(number_after("evenodd(p="));
+    }
+    if (name.starts_with("rdp(p=")) {
+      return std::make_shared<RdpScheme>(number_after("rdp(p="));
+    }
+  } catch (const std::exception&) {
+    // fall through to the uniform error below
+  }
+  throw std::invalid_argument("make_scheme_from_name: unknown scheme: " +
+                              name);
+}
+
+void Snapshot::save_disk(const VirtualDisk& disk, std::ostream& out) {
+  if (disk.reshaping()) {
+    throw std::runtime_error("Snapshot: drain the reshape before saving");
+  }
+  out.write(kDiskMagic, 8);
+  put_u32(out, static_cast<std::uint32_t>(disk.stores_.size()));
+  for (const auto& [uid, store] : disk.stores_) put_store(out, *store);
+  put_volume_meta(out, disk);
+  if (!out) throw std::runtime_error("Snapshot: write failed");
+}
+
+VirtualDisk Snapshot::load_disk(std::istream& in) {
+  expect_magic(in, kDiskMagic);
+  const std::uint32_t n = get_u32(in);
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto store = get_store(in);
+    const DeviceId uid = store->device().uid;
+    stores.emplace(uid, std::move(store));
+  }
+  return get_volume_meta(in, std::move(stores));
+}
+
+void Snapshot::save_pool(const StoragePool& pool, std::ostream& out) {
+  for (const auto& [name, disk] : pool.volumes_) {
+    if (disk->reshaping()) {
+      throw std::runtime_error("Snapshot: drain reshapes before saving");
+    }
+  }
+  out.write(kPoolMagic, 8);
+  put_u32(out, pool.next_volume_id_);
+  put_config(out, pool.config_);
+  put_u32(out, static_cast<std::uint32_t>(pool.stores_.size()));
+  for (const auto& [uid, store] : pool.stores_) put_store(out, *store);
+  put_u32(out, static_cast<std::uint32_t>(pool.volumes_.size()));
+  for (const auto& [name, disk] : pool.volumes_) {
+    put_string(out, name);
+    put_volume_meta(out, *disk);
+  }
+  if (!out) throw std::runtime_error("Snapshot: write failed");
+}
+
+StoragePool Snapshot::load_pool(std::istream& in) {
+  expect_magic(in, kPoolMagic);
+  const std::uint32_t next_volume_id = get_u32(in);
+  ClusterConfig config = get_config(in);
+
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores;
+  const std::uint32_t n_stores = get_u32(in);
+  for (std::uint32_t i = 0; i < n_stores; ++i) {
+    auto store = get_store(in);
+    const DeviceId uid = store->device().uid;
+    stores.emplace(uid, std::move(store));
+  }
+
+  StoragePool pool{ClusterConfig{}};
+  pool.config_ = std::move(config);
+  pool.stores_ = std::move(stores);
+  pool.next_volume_id_ = next_volume_id;
+
+  const std::uint32_t n_volumes = get_u32(in);
+  for (std::uint32_t i = 0; i < n_volumes; ++i) {
+    std::string name = get_string(in);
+    pool.volumes_.emplace(
+        std::move(name),
+        std::make_unique<VirtualDisk>(get_volume_meta(in, pool.stores_)));
+  }
+  return pool;
+}
+
+}  // namespace rds

@@ -1,0 +1,49 @@
+// Snapshot persistence: save/restore the full state of a VirtualDisk or a
+// StoragePool to a byte stream (metadata, fragment payloads, checksums,
+// failure flags).  Restart semantics for the simulation stack: a loaded
+// snapshot behaves identically to the original, including degraded state.
+//
+// Format: little-endian, length-prefixed, versioned magic header.  Not a
+// wire protocol -- a local persistence format with a strict version check.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/storage/storage_pool.hpp"
+#include "src/storage/virtual_disk.hpp"
+
+namespace rds {
+
+/// Reconstructs a redundancy scheme from its name() string
+/// ("mirror(k=2)", "reed-solomon(4+2)", "evenodd(p=5)", "rdp(p=7)").
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] std::shared_ptr<RedundancyScheme> make_scheme_from_name(
+    const std::string& name);
+
+class Snapshot {
+ public:
+  /// Serializes a standalone disk (configuration, placement kind, scheme,
+  /// block table, checksums, device stores including failure flags).
+  /// Throws std::runtime_error if a reshape is in flight.
+  static void save_disk(const VirtualDisk& disk, std::ostream& out);
+
+  /// Restores a disk saved by save_disk.  Throws std::runtime_error on a
+  /// bad magic/version or truncated stream.
+  static VirtualDisk load_disk(std::istream& in);
+
+  /// Serializes a pool: shared stores once, then every volume's metadata.
+  static void save_pool(const StoragePool& pool, std::ostream& out);
+  static StoragePool load_pool(std::istream& in);
+
+ private:
+  // Volume metadata section (needs VirtualDisk friendship; stores are
+  // serialized separately so pool snapshots write shared payloads once).
+  static void put_volume_meta(std::ostream& out, const VirtualDisk& disk);
+  static VirtualDisk get_volume_meta(
+      std::istream& in,
+      std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores);
+};
+
+}  // namespace rds

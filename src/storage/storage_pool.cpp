@@ -1,0 +1,116 @@
+#include "src/storage/storage_pool.hpp"
+
+#include <stdexcept>
+
+namespace rds {
+
+StoragePool::StoragePool(ClusterConfig config) : config_(std::move(config)) {
+  for (const Device& d : config_.devices()) {
+    stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
+  }
+}
+
+VirtualDisk& StoragePool::create_volume(
+    const std::string& name, std::shared_ptr<RedundancyScheme> scheme,
+    PlacementKind kind) {
+  if (volumes_.contains(name)) {
+    throw std::invalid_argument("StoragePool: duplicate volume " + name);
+  }
+  auto disk = std::make_unique<VirtualDisk>(config_, std::move(scheme), kind,
+                                            next_volume_id_++, stores_);
+  VirtualDisk& ref = *disk;
+  volumes_.emplace(name, std::move(disk));
+  return ref;
+}
+
+VirtualDisk& StoragePool::volume(const std::string& name) {
+  const auto it = volumes_.find(name);
+  if (it == volumes_.end()) {
+    throw std::out_of_range("StoragePool: unknown volume " + name);
+  }
+  return *it->second;
+}
+
+std::vector<std::string> StoragePool::volume_names() const {
+  std::vector<std::string> names;
+  names.reserve(volumes_.size());
+  for (const auto& [name, disk] : volumes_) names.push_back(name);
+  return names;
+}
+
+bool StoragePool::drop_volume(const std::string& name) {
+  const auto it = volumes_.find(name);
+  if (it == volumes_.end()) return false;
+  // Release the volume's fragments so the shared capacity is reusable.
+  for (const std::uint64_t block : it->second->block_ids()) {
+    it->second->trim(block);
+  }
+  volumes_.erase(it);
+  return true;
+}
+
+void StoragePool::add_device(const Device& device) {
+  if (config_.contains(device.uid)) {
+    throw std::invalid_argument("StoragePool: duplicate device uid");
+  }
+  auto store = std::make_shared<DeviceStore>(device);
+  for (const auto& [name, disk] : volumes_) {
+    disk->attach_device(device, store);
+  }
+  stores_.emplace(device.uid, std::move(store));
+  config_.add_device(device);
+}
+
+void StoragePool::remove_device(DeviceId uid) {
+  if (!config_.contains(uid)) {
+    throw std::out_of_range("StoragePool: unknown device");
+  }
+  for (const auto& [name, disk] : volumes_) {
+    disk->remove_device(uid);
+  }
+  stores_.erase(uid);
+  config_.remove_device(uid);
+}
+
+void StoragePool::fail_device(DeviceId uid) {
+  const auto it = stores_.find(uid);
+  if (it == stores_.end()) {
+    throw std::out_of_range("StoragePool: unknown device");
+  }
+  it->second->fail();
+}
+
+std::uint64_t StoragePool::rebuild() {
+  std::uint64_t rebuilt = 0;
+  for (const auto& [name, disk] : volumes_) {
+    rebuilt += disk->rebuild();
+  }
+  // Drop the pool's references to dead stores and devices.
+  std::vector<DeviceId> dead;
+  for (const auto& [uid, store] : stores_) {
+    if (store->failed()) dead.push_back(uid);
+  }
+  for (const DeviceId uid : dead) {
+    stores_.erase(uid);
+    config_.remove_device(uid);
+  }
+  return rebuilt;
+}
+
+std::vector<StoragePool::DeviceUsage> StoragePool::usage() const {
+  std::vector<DeviceUsage> out;
+  out.reserve(config_.size());
+  for (const Device& d : config_.devices()) {
+    const auto it = stores_.find(d.uid);
+    DeviceUsage u;
+    u.device = d;
+    if (it != stores_.end()) {
+      u.used = it->second->used();
+      u.failed = it->second->failed();
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace rds

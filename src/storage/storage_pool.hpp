@@ -1,0 +1,76 @@
+// StoragePool: several virtual disks ("volumes") sharing one set of
+// physical devices.
+//
+// Real deployments rarely dedicate a pool to one volume: different datasets
+// want different redundancy (a scratch volume mirrored twice, an archive on
+// RS(8+2)) on the same spindles.  The pool owns the device stores (capacity
+// is contended across volumes) and fans every topology event out to every
+// volume, each of which migrates only its own minimal fragment set.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/virtual_disk.hpp"
+
+namespace rds {
+
+class StoragePool {
+ public:
+  explicit StoragePool(ClusterConfig config);
+
+  /// Creates a volume spanning every pool device.  Throws on duplicate
+  /// names or if the scheme needs more fragments than there are devices.
+  VirtualDisk& create_volume(
+      const std::string& name, std::shared_ptr<RedundancyScheme> scheme,
+      PlacementKind kind = PlacementKind::kRedundantShare);
+
+  [[nodiscard]] VirtualDisk& volume(const std::string& name);
+  [[nodiscard]] bool has_volume(const std::string& name) const {
+    return volumes_.contains(name);
+  }
+  [[nodiscard]] std::vector<std::string> volume_names() const;
+  [[nodiscard]] std::size_t volume_count() const noexcept {
+    return volumes_.size();
+  }
+
+  /// Deletes a volume and releases all its fragments from the shared
+  /// devices.  Returns whether it existed.
+  bool drop_volume(const std::string& name);
+
+  /// Adds a device to the pool and migrates every volume onto it.
+  void add_device(const Device& device);
+
+  /// Gracefully removes a device: every volume drains its fragments first.
+  void remove_device(DeviceId uid);
+
+  /// Crashes a device for every volume at once (stores are shared).
+  void fail_device(DeviceId uid);
+
+  /// Drops failed devices and restores full redundancy on every volume.
+  /// Returns total fragments rebuilt across volumes.
+  std::uint64_t rebuild();
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+
+  struct DeviceUsage {
+    Device device;
+    std::uint64_t used = 0;  ///< fragments across all volumes
+    bool failed = false;
+  };
+  [[nodiscard]] std::vector<DeviceUsage> usage() const;
+
+ private:
+  friend class Snapshot;
+
+  ClusterConfig config_;
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_;
+  std::map<std::string, std::unique_ptr<VirtualDisk>> volumes_;
+  std::uint32_t next_volume_id_ = 1;
+};
+
+}  // namespace rds

@@ -1,0 +1,373 @@
+#include "src/storage/virtual_disk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/core/fast_redundant_share.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/placement/static_placement.hpp"
+#include "src/placement/trivial_replication.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+VirtualDisk::VirtualDisk(ClusterConfig config,
+                         std::shared_ptr<RedundancyScheme> scheme,
+                         PlacementKind kind)
+    : config_(std::move(config)), scheme_(std::move(scheme)), kind_(kind) {
+  if (!scheme_) throw std::invalid_argument("VirtualDisk: null scheme");
+  strategy_ = make_strategy(config_);
+  for (const Device& d : config_.devices()) {
+    stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
+  }
+}
+
+VirtualDisk::VirtualDisk(
+    ClusterConfig config, std::shared_ptr<RedundancyScheme> scheme,
+    PlacementKind kind, std::uint32_t volume_id,
+    std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores)
+    : config_(std::move(config)), scheme_(std::move(scheme)), kind_(kind),
+      volume_id_(volume_id), stores_(std::move(stores)) {
+  if (!scheme_) throw std::invalid_argument("VirtualDisk: null scheme");
+  for (const Device& d : config_.devices()) {
+    const auto it = stores_.find(d.uid);
+    if (it == stores_.end() || !it->second) {
+      throw std::invalid_argument(
+          "VirtualDisk: shared store missing for device " + d.name);
+    }
+  }
+  strategy_ = make_strategy(config_);
+}
+
+std::unique_ptr<ReplicationStrategy> VirtualDisk::make_strategy(
+    const ClusterConfig& config) const {
+  const unsigned k = scheme_->fragment_count();
+  switch (kind_) {
+    case PlacementKind::kRedundantShare:
+      return std::make_unique<RedundantShare>(config, k);
+    case PlacementKind::kFastRedundantShare:
+      return std::make_unique<FastRedundantShare>(config, k);
+    case PlacementKind::kTrivial:
+      return std::make_unique<TrivialReplication>(config, k);
+    case PlacementKind::kRoundRobin:
+      return std::make_unique<RoundRobinStriping>(config, k);
+  }
+  throw std::logic_error("VirtualDisk: unknown placement kind");
+}
+
+std::uint64_t VirtualDisk::checksum(
+    std::span<const std::uint8_t> payload) noexcept {
+  // FNV-1a over the payload, finalized by mix64 (matches util/hash.hpp's
+  // string hashing; collisions are 2^-64 events, fine for bit-rot checks).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h ^ payload.size());
+}
+
+void VirtualDisk::store_fragment(DeviceId target, std::uint64_t block,
+                                 unsigned j, Bytes payload) {
+  const FragmentKey key{block, j, volume_id_};
+  checksums_[key] = checksum(payload);
+  stores_.at(target)->write(key, std::move(payload));
+}
+
+const ReplicationStrategy& VirtualDisk::strategy_for(
+    std::uint64_t block) const {
+  if (next_strategy_ && !pending_.contains(block)) return *next_strategy_;
+  return *strategy_;
+}
+
+void VirtualDisk::write(std::uint64_t block,
+                        std::span<const std::uint8_t> data) {
+  std::vector<Bytes> fragments = scheme_->encode(data);
+  const std::vector<DeviceId> targets = strategy_for(block).place(block);
+
+  // If the block already exists, clear its old fragments first (it may have
+  // been written under a previous configuration).
+  if (blocks_.contains(block)) {
+    for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
+      for (auto& [uid, store] : stores_) store->erase({block, j, volume_id_});
+      checksums_.erase({block, j, volume_id_});
+    }
+  }
+  for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
+    store_fragment(targets[j], block, j, std::move(fragments[j]));
+    ++stats_.fragments_written;
+  }
+  blocks_[block] = data.size();
+}
+
+std::vector<std::optional<Bytes>> VirtualDisk::gather_fragments(
+    std::uint64_t block, std::span<const DeviceId> locations) {
+  std::vector<std::optional<Bytes>> fragments(scheme_->fragment_count());
+  for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
+    const auto it = stores_.find(locations[j]);
+    if (it == stores_.end()) continue;
+    fragments[j] = it->second->read({block, j, volume_id_});
+    if (!fragments[j]) continue;
+    const auto sum = checksums_.find({block, j, volume_id_});
+    if (sum != checksums_.end() && sum->second != checksum(*fragments[j])) {
+      // Bit rot: a corrupt fragment is worse than a missing one -- drop it
+      // so the decoder reconstructs from healthy peers.
+      fragments[j].reset();
+      ++stats_.checksum_failures;
+    }
+  }
+  return fragments;
+}
+
+std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
+  const auto size_it = blocks_.find(block);
+  if (size_it == blocks_.end()) {
+    throw std::out_of_range("VirtualDisk: block never written");
+  }
+  const std::vector<DeviceId> targets = strategy_for(block).place(block);
+  const std::vector<std::optional<Bytes>> fragments =
+      gather_fragments(block, targets);
+
+  const auto present = static_cast<unsigned>(std::ranges::count_if(
+      fragments, [](const auto& f) { return f.has_value(); }));
+  if (present < scheme_->min_fragments()) {
+    throw std::runtime_error("VirtualDisk: block unrecoverable");
+  }
+  if (present < scheme_->fragment_count()) ++stats_.degraded_reads;
+  return scheme_->decode(fragments, size_it->second);
+}
+
+bool VirtualDisk::trim(std::uint64_t block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  const std::vector<DeviceId> targets = strategy_for(block).place(block);
+  for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
+    const auto store = stores_.find(targets[j]);
+    if (store != stores_.end()) store->second->erase({block, j, volume_id_});
+    checksums_.erase({block, j, volume_id_});
+  }
+  blocks_.erase(it);
+  pending_.erase(block);
+  return true;
+}
+
+void VirtualDisk::add_device(const Device& device) {
+  ClusterConfig next = config_;
+  next.add_device(device);
+  migrate_to(std::move(next));  // begin_reshape creates the new store
+}
+
+void VirtualDisk::attach_device(const Device& device,
+                                std::shared_ptr<DeviceStore> store) {
+  if (!store) throw std::invalid_argument("attach_device: null store");
+  if (reshaping()) {
+    throw std::runtime_error("VirtualDisk: reshape already in progress");
+  }
+  ClusterConfig next = config_;
+  next.add_device(device);                 // validates (duplicate uid, ...)
+  stores_.emplace(device.uid, std::move(store));
+  migrate_to(std::move(next));
+}
+
+void VirtualDisk::remove_device(DeviceId uid) {
+  const auto it = stores_.find(uid);
+  if (it == stores_.end()) {
+    throw std::out_of_range("VirtualDisk: unknown device");
+  }
+  if (it->second->failed()) {
+    throw std::invalid_argument(
+        "VirtualDisk: use rebuild() for failed devices");
+  }
+  ClusterConfig next = config_;
+  next.remove_device(uid);
+  migrate_to(std::move(next));
+  stores_.erase(uid);
+}
+
+void VirtualDisk::fail_device(DeviceId uid) {
+  stores_.at(uid)->fail();
+}
+
+bool VirtualDisk::corrupt_fragment(std::uint64_t block, unsigned fragment) {
+  if (!blocks_.contains(block) || fragment >= scheme_->fragment_count()) {
+    return false;
+  }
+  const std::vector<DeviceId> targets = strategy_for(block).place(block);
+  const auto store = stores_.find(targets[fragment]);
+  if (store == stores_.end()) return false;
+  return store->second->corrupt({block, fragment, volume_id_});
+}
+
+std::uint64_t VirtualDisk::rebuild() {
+  ClusterConfig next = config_;
+  std::vector<DeviceId> dead;
+  for (const auto& [uid, store] : stores_) {
+    if (store->failed()) dead.push_back(uid);
+  }
+  if (dead.empty()) return 0;
+  for (const DeviceId uid : dead) next.remove_device(uid);
+
+  const std::uint64_t rebuilt_before = stats_.fragments_rebuilt;
+  migrate_to(std::move(next));
+  for (const DeviceId uid : dead) stores_.erase(uid);
+  return stats_.fragments_rebuilt - rebuilt_before;
+}
+
+std::size_t VirtualDisk::begin_reshape(ClusterConfig next) {
+  if (reshaping()) {
+    throw std::runtime_error("VirtualDisk: reshape already in progress");
+  }
+  // A failed device must not be a migration target: callers rebuild() before
+  // reshaping a degraded pool.
+  for (const Device& d : next.devices()) {
+    const auto it = stores_.find(d.uid);
+    if (it != stores_.end() && it->second->failed()) {
+      throw std::runtime_error(
+          "VirtualDisk: rebuild() required before migrating a degraded pool");
+    }
+  }
+  next_strategy_ = make_strategy(next);
+  for (const Device& d : next.devices()) {
+    if (!stores_.contains(d.uid)) stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
+  }
+  next_config_ = std::move(next);
+  pending_.clear();
+  pending_.reserve(blocks_.size());
+  for (const auto& [block, size] : blocks_) pending_.insert(block);
+  return pending_.size();
+}
+
+void VirtualDisk::reshape_block(std::uint64_t block) {
+  const unsigned k = scheme_->fragment_count();
+  std::vector<DeviceId> old_loc(k), new_loc(k);
+  strategy_->place(block, old_loc);
+  next_strategy_->place(block, new_loc);
+
+  bool any = false;
+  for (unsigned j = 0; j < k; ++j) {
+    if (old_loc[j] != new_loc[j]) any = true;
+  }
+  if (!any) return;
+
+  std::vector<std::optional<Bytes>> fragments =
+      gather_fragments(block, old_loc);
+  for (unsigned j = 0; j < k; ++j) {
+    if (old_loc[j] == new_loc[j]) continue;
+    Bytes payload;
+    if (fragments[j].has_value()) {
+      payload = *fragments[j];
+    } else {
+      // The source copy is gone (failed device) or rotted: rebuild it.
+      payload = scheme_->reconstruct_fragment(fragments, j);
+      ++stats_.fragments_rebuilt;
+    }
+    // Erase before write so a device swapping fragments with another does
+    // not transiently exceed its capacity.
+    const auto src = stores_.find(old_loc[j]);
+    if (src != stores_.end()) src->second->erase({block, j, volume_id_});
+    stats_.bytes_moved += payload.size();
+    ++stats_.fragments_moved;
+    store_fragment(new_loc[j], block, j, std::move(payload));
+  }
+}
+
+std::size_t VirtualDisk::step_reshape(std::size_t max_blocks) {
+  if (!reshaping()) return 0;
+  std::size_t processed = 0;
+  while (processed < max_blocks && !pending_.empty()) {
+    const std::uint64_t block = *pending_.begin();
+    reshape_block(block);
+    pending_.erase(pending_.begin());
+    ++processed;
+  }
+  if (pending_.empty()) {
+    // Commit the new topology.
+    config_ = std::move(next_config_);
+    strategy_ = std::move(next_strategy_);
+    next_strategy_.reset();
+    next_config_ = ClusterConfig{};
+  }
+  return processed;
+}
+
+void VirtualDisk::migrate_to(ClusterConfig next) {
+  begin_reshape(std::move(next));
+  while (!pending_.empty()) {
+    step_reshape(1024);
+  }
+  step_reshape(1);  // commit when the pool held no blocks at all
+}
+
+std::uint64_t VirtualDisk::repair() {
+  const unsigned k = scheme_->fragment_count();
+  const std::uint64_t repaired_before = stats_.fragments_repaired;
+  std::vector<DeviceId> loc(k);
+  for (const auto& [block, size] : blocks_) {
+    strategy_for(block).place(block, loc);
+    std::vector<std::optional<Bytes>> fragments =
+        gather_fragments(block, loc);
+    const auto present = static_cast<unsigned>(std::ranges::count_if(
+        fragments, [](const auto& f) { return f.has_value(); }));
+    if (present == k) continue;                       // fully healthy
+    if (present < scheme_->min_fragments()) continue;  // unrecoverable
+    for (unsigned j = 0; j < k; ++j) {
+      if (fragments[j]) continue;
+      const auto store = stores_.find(loc[j]);
+      if (store == stores_.end() || store->second->failed()) {
+        continue;  // home device gone: rebuild() handles that case
+      }
+      Bytes payload = scheme_->reconstruct_fragment(fragments, j);
+      store_fragment(loc[j], block, j, std::move(payload));
+      ++stats_.fragments_repaired;
+    }
+  }
+  return stats_.fragments_repaired - repaired_before;
+}
+
+VirtualDisk::ScrubReport VirtualDisk::scrub() {
+  ScrubReport report;
+  const unsigned k = scheme_->fragment_count();
+  std::vector<DeviceId> loc(k);
+  for (const auto& [block, size] : blocks_) {
+    ++report.blocks_checked;
+    strategy_for(block).place(block, loc);
+    // Full read path: presence AND checksum validity.
+    const std::vector<std::optional<Bytes>> fragments =
+        gather_fragments(block, loc);
+    const auto present = static_cast<unsigned>(std::ranges::count_if(
+        fragments, [](const auto& f) { return f.has_value(); }));
+    if (present < scheme_->min_fragments()) {
+      ++report.unreadable_blocks;
+    } else if (present < k) {
+      ++report.degraded_blocks;
+    }
+  }
+  // Any fragment sitting on a device the placement does not map it to?
+  std::uint64_t expected_total = 0;
+  for (const auto& [block, size] : blocks_) {
+    (void)size;
+    expected_total += k;
+  }
+  std::uint64_t stored_total = 0;
+  for (const auto& [uid, store] : stores_) {
+    stored_total += store->used_by_volume(volume_id_);
+  }
+  if (stored_total > expected_total) {
+    report.misplaced_fragments = stored_total - expected_total;
+  }
+  return report;
+}
+
+std::vector<std::uint64_t> VirtualDisk::block_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [block, size] : blocks_) ids.push_back(block);
+  return ids;
+}
+
+std::uint64_t VirtualDisk::used_on(DeviceId uid) const {
+  const auto it = stores_.find(uid);
+  return it == stores_.end() ? 0 : it->second->used();
+}
+
+}  // namespace rds

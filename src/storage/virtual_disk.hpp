@@ -1,0 +1,212 @@
+// VirtualDisk: the block-level storage virtualization of the paper's
+// introduction -- a pool of heterogeneous devices presented as one device.
+//
+// Every logical block is encoded by a RedundancyScheme into k fragments,
+// which a placement strategy (Redundant Share by default) maps to k distinct
+// devices.  Growing, shrinking, or losing devices triggers a migration that
+// moves only the fragments the placement diff says must move; lost fragments
+// are rebuilt from the surviving ones through the scheme.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/placement/strategy.hpp"
+#include "src/storage/device_store.hpp"
+#include "src/storage/redundancy_scheme.hpp"
+
+namespace rds {
+
+class Snapshot;
+
+/// Which placement strategy backs the disk.
+enum class PlacementKind {
+  kRedundantShare,      ///< the paper's strategy, O(n k) per access
+  kFastRedundantShare,  ///< Section 3.3 variant, O(k log n) per access
+  kTrivial,             ///< k independent draws (for comparison only)
+  kRoundRobin,          ///< static striping baseline
+};
+
+class VirtualDisk {
+ public:
+  struct Stats {
+    std::uint64_t fragments_written = 0;
+    std::uint64_t fragments_moved = 0;     ///< by migrations
+    std::uint64_t bytes_moved = 0;
+    std::uint64_t fragments_rebuilt = 0;   ///< reconstructed from peers
+    std::uint64_t degraded_reads = 0;      ///< reads that needed decoding
+                                           ///< around missing fragments
+    std::uint64_t checksum_failures = 0;   ///< corrupt fragments detected
+    std::uint64_t fragments_repaired = 0;  ///< restored by repair()
+  };
+
+  struct ScrubReport {
+    std::uint64_t blocks_checked = 0;
+    std::uint64_t unreadable_blocks = 0;    ///< fewer than min_fragments left
+    std::uint64_t degraded_blocks = 0;      ///< readable, fragments missing
+    std::uint64_t misplaced_fragments = 0;  ///< stored where placement
+                                            ///< does not expect them
+    [[nodiscard]] bool clean() const noexcept {
+      return unreadable_blocks == 0 && degraded_blocks == 0 &&
+             misplaced_fragments == 0;
+    }
+  };
+
+  VirtualDisk(ClusterConfig config, std::shared_ptr<RedundancyScheme> scheme,
+              PlacementKind kind = PlacementKind::kRedundantShare);
+
+  /// Pool mode: the disk is one volume among several sharing the SAME
+  /// device stores (capacity is contended across volumes).  `volume_id`
+  /// namespaces this volume's fragments; `stores` must cover every device
+  /// of `config`.  Normally constructed via StoragePool::create_volume.
+  VirtualDisk(ClusterConfig config, std::shared_ptr<RedundancyScheme> scheme,
+              PlacementKind kind, std::uint32_t volume_id,
+              std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>>
+                  stores);
+
+  /// Stores a logical block (any length that fits the fragment budget).
+  void write(std::uint64_t block, std::span<const std::uint8_t> data);
+
+  /// Reads a logical block back, reconstructing around failed devices.
+  /// Throws std::out_of_range for never-written blocks, std::runtime_error
+  /// when too many fragments are lost.
+  [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block);
+
+  /// Discards a block: removes its fragments from every device.  Returns
+  /// whether the block existed.
+  bool trim(std::uint64_t block);
+
+  [[nodiscard]] bool contains(std::uint64_t block) const {
+    return blocks_.contains(block);
+  }
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  /// Adds a device and migrates the fragments the new placement assigns it.
+  void add_device(const Device& device);
+
+  /// Pool mode: adds a device backed by an existing (shared) store and
+  /// migrates.  Used by StoragePool so every co-hosted volume sees the same
+  /// physical device.
+  void attach_device(const Device& device,
+                     std::shared_ptr<DeviceStore> store);
+
+  /// Gracefully removes a healthy device, migrating its data away first.
+  void remove_device(DeviceId uid);
+
+  /// Incremental reshaping: starts migrating toward `next` without blocking.
+  /// Returns the number of blocks that still need re-placement.  While a
+  /// reshape is in flight, reads and writes work normally (each block is
+  /// served from wherever it currently lives); further topology operations
+  /// are rejected until the reshape drains.
+  std::size_t begin_reshape(ClusterConfig next);
+
+  /// Migrates up to `max_blocks` pending blocks; returns how many were
+  /// processed.  A return of 0 means the reshape is complete (the new
+  /// configuration is committed).
+  std::size_t step_reshape(std::size_t max_blocks);
+
+  [[nodiscard]] bool reshaping() const noexcept {
+    return next_strategy_ != nullptr;
+  }
+  [[nodiscard]] std::size_t reshape_pending() const noexcept {
+    return pending_.size();
+  }
+
+  /// Simulates a crash: the device's contents become unreadable.
+  void fail_device(DeviceId uid);
+
+  /// Chaos hook: silently corrupts the stored copy of one fragment (bit
+  /// rot).  Returns whether the fragment existed.  Reads detect the damage
+  /// via checksums and reconstruct; repair() restores the fragment.
+  bool corrupt_fragment(std::uint64_t block, unsigned fragment);
+
+  /// Drops all failed devices from the configuration and restores full
+  /// redundancy (re-places fragments; lost ones are rebuilt from peers).
+  /// Returns the number of fragments rebuilt.
+  std::uint64_t rebuild();
+
+  /// Verifies every block: decodable, fully redundant, fragments exactly
+  /// where the placement function says, and checksums intact (corrupt
+  /// fragments count as missing).
+  [[nodiscard]] ScrubReport scrub();
+
+  /// Restores full redundancy in place: re-creates missing or corrupt
+  /// fragments on their assigned (healthy) devices from the surviving
+  /// ones.  Unlike rebuild(), the configuration is unchanged.  Returns the
+  /// number of fragments repaired; unrecoverable blocks are left alone.
+  std::uint64_t repair();
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const RedundancyScheme& scheme() const noexcept {
+    return *scheme_;
+  }
+  [[nodiscard]] const ReplicationStrategy& strategy() const noexcept {
+    return *strategy_;
+  }
+  [[nodiscard]] std::uint64_t used_on(DeviceId uid) const;
+  [[nodiscard]] std::uint32_t volume_id() const noexcept { return volume_id_; }
+
+  /// Ids of all blocks currently stored (for pool bookkeeping and volume
+  /// teardown).
+  [[nodiscard]] std::vector<std::uint64_t> block_ids() const;
+
+ private:
+  friend class Snapshot;
+
+  [[nodiscard]] std::unique_ptr<ReplicationStrategy> make_strategy(
+      const ClusterConfig& config) const;
+
+  /// Re-places every block under `next` and moves/rebuilds fragments
+  /// (begin_reshape + drain).
+  void migrate_to(ClusterConfig next);
+
+  /// The strategy that currently governs `block` (old placement while the
+  /// block awaits reshaping, the target placement otherwise).
+  [[nodiscard]] const ReplicationStrategy& strategy_for(
+      std::uint64_t block) const;
+
+  /// Moves one block's fragments from `strategy_` to `next_strategy_`.
+  void reshape_block(std::uint64_t block);
+
+  /// Reads all currently reachable, checksum-valid fragments of a block;
+  /// corrupt fragments count as missing (and bump the failure stat).
+  [[nodiscard]] std::vector<std::optional<Bytes>> gather_fragments(
+      std::uint64_t block, std::span<const DeviceId> locations);
+
+  /// Checksum over a fragment payload (placement-independent).
+  [[nodiscard]] static std::uint64_t checksum(
+      std::span<const std::uint8_t> payload) noexcept;
+
+  /// Stores fragment j of `block` with its checksum recorded.
+  void store_fragment(DeviceId target, std::uint64_t block, unsigned j,
+                      Bytes payload);
+
+  ClusterConfig config_;
+  std::shared_ptr<RedundancyScheme> scheme_;
+  PlacementKind kind_;
+  std::uint32_t volume_id_ = 0;
+  std::unique_ptr<ReplicationStrategy> strategy_;
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_;
+  std::unordered_map<std::uint64_t, std::size_t> blocks_;  // block -> size
+  std::unordered_map<FragmentKey, std::uint64_t, FragmentKeyHash> checksums_;
+  Stats stats_;
+
+  // In-flight reshape state (empty/null when idle).
+  ClusterConfig next_config_;
+  std::unique_ptr<ReplicationStrategy> next_strategy_;
+  std::unordered_set<std::uint64_t> pending_;  // blocks still on `strategy_`
+};
+
+}  // namespace rds

@@ -1,0 +1,57 @@
+#include "src/util/alias_table.hpp"
+
+#include <stdexcept>
+
+namespace rds {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasTable: zero total");
+
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+
+  // Scaled weights: mean 1.  Split into under- and over-full slots and pair
+  // them (Vose's stable formulation).
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly full (up to rounding): threshold 1.
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(double u) const noexcept {
+  const double scaled = u * static_cast<double>(prob_.size());
+  auto slot = static_cast<std::size_t>(scaled);
+  if (slot >= prob_.size()) slot = prob_.size() - 1;  // u ~ 1 - eps guard
+  const double coin = scaled - static_cast<double>(slot);
+  return coin < prob_[slot] ? slot : alias_[slot];
+}
+
+}  // namespace rds

@@ -1,0 +1,32 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(n) construction.  Substrate for the O(k)-lookup
+// Redundant Share variant (Section 3.3's "more memory -> constant time").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights (need not be normalized;
+  /// total must be positive).  Throws std::invalid_argument otherwise.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Index sampled according to the weights, driven by one uniform value in
+  /// [0, 1).  O(1): the uniform is split into a slot choice and a coin.
+  [[nodiscard]] std::size_t sample(double u) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;        // acceptance threshold per slot
+  std::vector<std::uint32_t> alias_;  // fallback index per slot
+};
+
+}  // namespace rds

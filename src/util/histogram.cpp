@@ -1,0 +1,62 @@
+#include "src/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rds {
+
+LogHistogram::LogHistogram(double min_value, double max_value, double growth)
+    : min_value_(min_value), log_growth_(std::log(growth)) {
+  if (min_value <= 0.0 || max_value <= min_value) {
+    throw std::invalid_argument("LogHistogram: bad value range");
+  }
+  if (growth <= 1.0) {
+    throw std::invalid_argument("LogHistogram: growth must exceed 1");
+  }
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(std::log(max_value / min_value) / log_growth_)) + 2;
+  buckets_.assign(buckets, 0);
+}
+
+std::size_t LogHistogram::bucket_of(double value) const noexcept {
+  if (value <= min_value_) return 0;
+  const auto raw = static_cast<std::size_t>(
+      std::log(value / min_value_) / log_growth_) + 1;
+  return std::min(raw, buckets_.size() - 1);
+}
+
+double LogHistogram::bucket_value(std::size_t index) const noexcept {
+  if (index == 0) return min_value_;
+  // Geometric midpoint of the bucket.
+  return min_value_ *
+         std::exp((static_cast<double>(index) - 0.5) * log_growth_);
+}
+
+void LogHistogram::add(double value) noexcept {
+  if (count_ == 0) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return bucket_value(i);
+  }
+  return bucket_value(buckets_.size() - 1);
+}
+
+}  // namespace rds

@@ -1,0 +1,49 @@
+// Fixed-memory quantile histogram (log-spaced buckets).
+//
+// Used by the request simulator and benches for latency percentiles without
+// retaining every sample.  Log-spaced buckets give a bounded relative error
+// (~bucket growth factor) at O(#buckets) memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rds {
+
+class LogHistogram {
+ public:
+  /// Values in [min_value, max_value] resolve with relative error
+  /// ~`growth - 1`; values outside clamp to the edge buckets.
+  LogHistogram(double min_value, double max_value, double growth = 1.05);
+
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return min_seen_; }
+  [[nodiscard]] double max() const noexcept { return max_seen_; }
+
+  /// Quantile q in [0, 1]; returns the representative value of the bucket
+  /// containing the q-th sample.  0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double value) const noexcept;
+  [[nodiscard]] double bucket_value(std::size_t index) const noexcept;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace rds

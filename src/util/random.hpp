@@ -1,0 +1,61 @@
+// xoshiro256** pseudo-random generator.
+//
+// Used only by *workload generation and tests* (drawing ball addresses,
+// building random cluster configurations).  Placement decisions themselves
+// never consume RNG state -- they are pure functions of hashes (util/hash.hpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/util/hash.hpp"
+
+namespace rds {
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // SplitMix64 seeding as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& w : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      w = mix64(x);
+    }
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_unit() noexcept { return to_unit((*this)()); }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rds

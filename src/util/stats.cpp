@@ -1,0 +1,101 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rds {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double chi_square(std::span<const std::uint64_t> observed,
+                  std::span<const double> expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("chi_square: size mismatch");
+  }
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      throw std::invalid_argument("chi_square: non-positive expected count");
+    }
+    const double d = static_cast<double>(observed[i]) - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+double chi_square_critical_999(std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_square_critical_999: dof=0");
+  // Wilson-Hilferty: X^2_p(k) ~= k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3,
+  // with z_0.999 = 3.0902.
+  const double k = static_cast<double>(dof);
+  const double z = 3.0902;
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+double max_relative_deviation(std::span<const std::uint64_t> observed,
+                              std::span<const double> expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("max_relative_deviation: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      throw std::invalid_argument(
+          "max_relative_deviation: non-positive expected count");
+    }
+    worst = std::max(
+        worst, std::abs(static_cast<double>(observed[i]) - expected[i]) /
+                   expected[i]);
+  }
+  return worst;
+}
+
+double rms_relative_deviation(std::span<const std::uint64_t> observed,
+                              std::span<const double> expected) {
+  if (observed.size() != expected.size()) {
+    throw std::invalid_argument("rms_relative_deviation: size mismatch");
+  }
+  if (observed.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) {
+      throw std::invalid_argument(
+          "rms_relative_deviation: non-positive expected count");
+    }
+    const double r =
+        (static_cast<double>(observed[i]) - expected[i]) / expected[i];
+    sum += r * r;
+  }
+  return std::sqrt(sum / static_cast<double>(observed.size()));
+}
+
+std::vector<double> normalized(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return {};
+  std::vector<double> out(weights.begin(), weights.end());
+  for (double& w : out) w /= total;
+  return out;
+}
+
+}  // namespace rds

@@ -1,0 +1,53 @@
+// Statistics helpers used by tests, benches and fairness reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson chi-square statistic for observed counts vs expected counts.
+/// Expected entries must be positive.
+[[nodiscard]] double chi_square(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected);
+
+/// Upper critical value of the chi-square distribution with `dof` degrees of
+/// freedom at significance 0.001 (Wilson–Hilferty approximation).  Good to a
+/// few percent for dof >= 2, which is all the fairness tests need.
+[[nodiscard]] double chi_square_critical_999(std::size_t dof);
+
+/// max_i |observed_i - expected_i| / expected_i.  Expected entries > 0.
+[[nodiscard]] double max_relative_deviation(
+    std::span<const std::uint64_t> observed, std::span<const double> expected);
+
+/// Root-mean-square of the relative deviations.
+[[nodiscard]] double rms_relative_deviation(
+    std::span<const std::uint64_t> observed, std::span<const double> expected);
+
+/// Normalize a weight vector to sum to 1.  Returns empty if the sum is 0.
+[[nodiscard]] std::vector<double> normalized(std::span<const double> weights);
+
+}  // namespace rds

@@ -1,0 +1,66 @@
+#include "src/util/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/random.hpp"
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+TEST(AliasTable, SingleEntry) {
+  const AliasTable t(std::vector<double>{5.0});
+  for (double u = 0.0; u < 1.0; u += 0.13) EXPECT_EQ(t.sample(u), 0u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const AliasTable t(std::vector<double>{1.0, 1.0, 1.0, 1.0});
+  // Slot selection is the integer part of u * n.
+  EXPECT_EQ(t.sample(0.10), 0u);
+  EXPECT_EQ(t.sample(0.30), 1u);
+  EXPECT_EQ(t.sample(0.60), 2u);
+  EXPECT_EQ(t.sample(0.90), 3u);
+}
+
+TEST(AliasTable, MatchesWeightsStatistically) {
+  const std::vector<double> weights{10.0, 1.0, 5.0, 30.0, 4.0};
+  const AliasTable t(weights);
+  Xoshiro256 rng(77);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  constexpr int kN = 500'000;
+  for (int i = 0; i < kN; ++i) ++counts[t.sample(rng.next_unit())];
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  std::vector<double> expected;
+  for (const double w : weights) expected.push_back(kN * w / total);
+  EXPECT_LT(chi_square(counts, expected),
+            chi_square_critical_999(weights.size() - 1));
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  const AliasTable t(weights);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_NE(t.sample(rng.next_unit()), 1u);
+  }
+}
+
+TEST(AliasTable, ExtremeUniformValues) {
+  const AliasTable t(std::vector<double>{1.0, 2.0});
+  EXPECT_LT(t.sample(0.0), 2u);
+  EXPECT_LT(t.sample(0.9999999999999999), 2u);
+}
+
+TEST(AliasTable, Validation) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

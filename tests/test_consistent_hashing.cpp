@@ -1,0 +1,95 @@
+#include "src/placement/consistent_hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig make_cluster() {
+  return ClusterConfig({{1, 100, ""}, {2, 200, ""}, {3, 300, ""}});
+}
+
+TEST(ConsistentHashing, Deterministic) {
+  const ConsistentHashing s(make_cluster());
+  for (std::uint64_t a = 0; a < 200; ++a) EXPECT_EQ(s.place(a), s.place(a));
+}
+
+TEST(ConsistentHashing, RingSizeTracksWeights) {
+  const ConsistentHashing s(make_cluster(), 100);
+  // Average device gets ~100 points; total ~300, weighted 50/100/150.
+  EXPECT_NEAR(static_cast<double>(s.ring_size()), 300.0, 3.0);
+}
+
+TEST(ConsistentHashing, ApproximateFairness) {
+  const ClusterConfig config = make_cluster();
+  const ConsistentHashing s(config, 512);
+  constexpr std::uint64_t kBalls = 60'000;
+  std::vector<std::uint64_t> counts(config.size(), 0);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    ++counts[config.index_of(s.place(a)).value()];
+  }
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    expected.push_back(static_cast<double>(kBalls) *
+                       config.relative_capacity(i));
+  }
+  // Virtual-node approximation: allow 10% relative deviation.
+  EXPECT_LT(max_relative_deviation(counts, expected), 0.10);
+}
+
+TEST(ConsistentHashing, LimitedDisruptionOnAdd) {
+  ClusterConfig before = make_cluster();
+  ClusterConfig after = before;
+  after.add_device({4, 200, ""});
+  const ConsistentHashing sb(before, 256, /*salt=*/5);
+  const ConsistentHashing sa(after, 256, /*salt=*/5);
+  constexpr std::uint64_t kBalls = 30'000;
+  std::uint64_t moved = 0;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    const DeviceId db = sb.place(a);
+    const DeviceId da = sa.place(a);
+    if (db != da) {
+      ++moved;
+      // Consistent hashing only ever moves balls TO the new device.
+      EXPECT_EQ(da, 4u);
+    }
+  }
+  // New share is 200/800 = 25%.
+  EXPECT_NEAR(static_cast<double>(moved), 0.25 * kBalls, 0.05 * kBalls);
+}
+
+TEST(ConsistentHashing, PlaceExcluding) {
+  const ConsistentHashing s(make_cluster());
+  for (std::uint64_t a = 0; a < 500; ++a) {
+    const DeviceId first = s.place(a);
+    const std::vector<DeviceId> excl{first};
+    const DeviceId second = s.place_excluding(a, excl);
+    EXPECT_NE(second, first);
+    EXPECT_NE(second, kNoDevice);
+  }
+}
+
+TEST(ConsistentHashing, PlaceExcludingEverything) {
+  const ConsistentHashing s(make_cluster());
+  const std::vector<DeviceId> excl{1, 2, 3};
+  EXPECT_EQ(s.place_excluding(7, excl), kNoDevice);
+}
+
+TEST(ConsistentHashing, PlaceExcludingNothingMatchesPlace) {
+  const ConsistentHashing s(make_cluster());
+  for (std::uint64_t a = 0; a < 500; ++a) {
+    EXPECT_EQ(s.place_excluding(a, {}), s.place(a));
+  }
+}
+
+TEST(ConsistentHashing, Validation) {
+  EXPECT_THROW(ConsistentHashing(ClusterConfig{}), std::invalid_argument);
+  EXPECT_THROW(ConsistentHashing(make_cluster(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,106 @@
+#include "src/placement/crush.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace rds {
+namespace {
+
+std::vector<FailureDomain> three_racks() {
+  return {
+      {"rack-a", {{1, 400, ""}, {2, 400, ""}}},
+      {"rack-b", {{3, 300, ""}, {4, 300, ""}, {5, 200, ""}}},
+      {"rack-c", {{6, 500, ""}, {7, 300, ""}}},
+  };
+}
+
+TEST(Crush, DeterministicAndDistinctDomains) {
+  const CrushPlacement s(three_racks(), 2);
+  std::vector<DeviceId> out(2), again(2);
+  for (std::uint64_t a = 0; a < 3000; ++a) {
+    s.place(a, out);
+    s.place(a, again);
+    EXPECT_EQ(out, again);
+    EXPECT_NE(s.domain_of(out[0]), s.domain_of(out[1]))
+        << "two copies in one failure domain for ball " << a;
+  }
+}
+
+TEST(Crush, DeviceAndDomainCounts) {
+  const CrushPlacement s(three_racks(), 2);
+  EXPECT_EQ(s.device_count(), 7u);
+  EXPECT_EQ(s.domain_count(), 3u);
+  EXPECT_EQ(s.domain_of(1), 0u);
+  EXPECT_EQ(s.domain_of(6), 2u);
+  EXPECT_EQ(s.domain_of(99), 3u);  // unknown
+}
+
+TEST(Crush, WithinDomainFairness) {
+  // Inside rack-b the 300:300:200 devices split the rack's copies 3:3:2.
+  const CrushPlacement s(three_racks(), 2);
+  std::uint64_t counts[3] = {0, 0, 0};  // devices 3, 4, 5
+  std::vector<DeviceId> out(2);
+  constexpr std::uint64_t kBalls = 100'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    for (const DeviceId d : out) {
+      if (d >= 3 && d <= 5) ++counts[d - 3];
+    }
+  }
+  const double rack_total =
+      static_cast<double>(counts[0] + counts[1] + counts[2]);
+  EXPECT_NEAR(counts[0] / rack_total, 3.0 / 8.0, 0.01);
+  EXPECT_NEAR(counts[2] / rack_total, 2.0 / 8.0, 0.01);
+}
+
+TEST(Crush, KEqualsDomainCountUsesEveryDomain) {
+  const CrushPlacement s(three_racks(), 3);
+  std::vector<DeviceId> out(3);
+  for (std::uint64_t a = 0; a < 1000; ++a) {
+    s.place(a, out);
+    std::unordered_set<std::size_t> domains;
+    for (const DeviceId d : out) domains.insert(s.domain_of(d));
+    EXPECT_EQ(domains.size(), 3u);
+  }
+}
+
+TEST(Crush, SuffersTrivialDomainLoss) {
+  // One dominant domain (half the capacity) with k = 2: CRUSH's straw
+  // top-k under-serves it (Lemma 2.4 at domain granularity).  This is the
+  // documented defect HierarchicalRedundantShare removes.
+  const std::vector<FailureDomain> domains{
+      {"big", {{1, 500, ""}, {2, 500, ""}}},
+      {"s1", {{3, 250, ""}, {4, 250, ""}}},
+      {"s2", {{5, 250, ""}, {6, 250, ""}}},
+  };
+  const CrushPlacement s(domains, 2);
+  std::uint64_t big = 0;
+  std::vector<DeviceId> out(2);
+  constexpr std::uint64_t kBalls = 120'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    for (const DeviceId d : out) {
+      if (d <= 2) ++big;
+    }
+  }
+  const double big_load = static_cast<double>(big) / kBalls;
+  // Fair: the big domain must hold one copy of EVERY ball (share = 1.0);
+  // the trivial draw misses it with probability 1/2 * 1/3 = 1/6.
+  EXPECT_NEAR(big_load, 5.0 / 6.0, 0.01);
+}
+
+TEST(Crush, Validation) {
+  EXPECT_THROW(CrushPlacement({}, 1), std::invalid_argument);
+  EXPECT_THROW(CrushPlacement(three_racks(), 0), std::invalid_argument);
+  EXPECT_THROW(CrushPlacement(three_racks(), 4), std::invalid_argument);
+  EXPECT_THROW(CrushPlacement({{"empty", {}}}, 1), std::invalid_argument);
+  EXPECT_THROW(CrushPlacement({{"dup", {{1, 10, ""}, {1, 10, ""}}}}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(CrushPlacement({{"zero", {{1, 0, ""}}}}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,117 @@
+#include "src/sim/disk_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/redundant_share.hpp"
+#include "src/placement/static_placement.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig make_pool() {
+  return ClusterConfig(
+      {{1, 4000, ""}, {2, 2000, ""}, {3, 2000, ""}, {4, 1000, ""}});
+}
+
+TEST(DiskSim, TraceGeneration) {
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 1000);
+  Xoshiro256 rng(5);
+  const auto trace = make_trace(map, 5000, /*rate=*/0.01, /*skew=*/0.9, rng);
+  ASSERT_EQ(trace.size(), 5000u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_us, trace[i - 1].arrival_us);
+    EXPECT_LT(trace[i].ball, 1000u);
+  }
+  // Mean interarrival ~ 1/rate.
+  EXPECT_NEAR(trace.back().arrival_us / 5000.0, 100.0, 10.0);
+}
+
+TEST(DiskSim, SingleRequestLatencyIsServiceTime) {
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 10);
+  const std::vector<Request> trace{{0.0, 3}};
+  const DiskPerf perf{100.0, 10.0};
+  const SimulationResult r = simulate_requests(
+      pool, map, trace, std::span<const DiskPerf>(&perf, 1),
+      ReplicaPolicy::kPrimaryOnly);
+  EXPECT_DOUBLE_EQ(r.mean_response_us, 110.0);
+  EXPECT_DOUBLE_EQ(r.makespan_us, 110.0);
+}
+
+TEST(DiskSim, QueueingDelaysShowUp) {
+  // Two simultaneous requests to the same ball via primary-only: the second
+  // waits for the first.
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 10);
+  const std::vector<Request> trace{{0.0, 3}, {0.0, 3}};
+  const DiskPerf perf{50.0, 0.0};
+  const SimulationResult r = simulate_requests(
+      pool, map, trace, std::span<const DiskPerf>(&perf, 1),
+      ReplicaPolicy::kPrimaryOnly);
+  EXPECT_DOUBLE_EQ(r.max_response_us, 100.0);
+  EXPECT_DOUBLE_EQ(r.mean_response_us, 75.0);
+}
+
+TEST(DiskSim, LeastLoadedSpreadsReplicas) {
+  // Same two simultaneous requests, but least-loaded picks distinct
+  // replicas: both finish in one service time.
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 10);
+  const std::vector<Request> trace{{0.0, 3}, {0.0, 3}};
+  const DiskPerf perf{50.0, 0.0};
+  const SimulationResult r = simulate_requests(
+      pool, map, trace, std::span<const DiskPerf>(&perf, 1),
+      ReplicaPolicy::kLeastLoaded);
+  EXPECT_DOUBLE_EQ(r.max_response_us, 50.0);
+}
+
+TEST(DiskSim, UtilizationTracksCapacityUnderFairPlacement) {
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 20'000);
+  Xoshiro256 rng(9);
+  const auto trace = make_trace(map, 100'000, /*rate=*/0.005, /*skew=*/0.0,
+                                rng);
+  const DiskPerf perf{20.0, 5.0};
+  const SimulationResult r = simulate_requests(
+      pool, map, trace, std::span<const DiskPerf>(&perf, 1),
+      ReplicaPolicy::kRoundRobin);
+  // Requests per device proportional to capacity: 4000:2000:2000:1000.
+  const double total_requests = 100'000.0;
+  EXPECT_NEAR(static_cast<double>(r.devices[0].requests) / total_requests,
+              4.0 / 9.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(r.devices[3].requests) / total_requests,
+              1.0 / 9.0, 0.02);
+}
+
+TEST(DiskSim, Validation) {
+  const ClusterConfig pool = make_pool();
+  const RedundantShare strategy(pool, 2);
+  const BlockMap map(strategy, 10);
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)make_trace(map, 10, 0.0, 0.9, rng),
+               std::invalid_argument);
+
+  const std::vector<Request> unsorted{{5.0, 1}, {1.0, 2}};
+  const DiskPerf perf{};
+  EXPECT_THROW((void)simulate_requests(pool, map, unsorted,
+                                       std::span<const DiskPerf>(&perf, 1),
+                                       ReplicaPolicy::kPrimaryOnly),
+               std::invalid_argument);
+  const std::vector<Request> ok{{0.0, 1}};
+  EXPECT_THROW((void)simulate_requests(pool, map, ok, {},
+                                       ReplicaPolicy::kPrimaryOnly),
+               std::invalid_argument);
+  const std::vector<DiskPerf> two(2);
+  EXPECT_THROW((void)simulate_requests(pool, map, ok, two,
+                                       ReplicaPolicy::kPrimaryOnly),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,114 @@
+// Exhaustive verification on small systems: EVERY capacity vector in a
+// small grid, EVERY replication degree.  The exact law is O(k*n), so
+// checking thousands of configurations is cheap -- this is the closest a
+// test can get to a proof of Lemma 3.1/3.4 over the covered range.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/core/capacity.hpp"
+#include "src/core/loss_analysis.hpp"
+#include "src/core/redundant_share.hpp"
+
+namespace rds {
+namespace {
+
+/// Generates all non-increasing capacity vectors of length n over
+/// {1, ..., max_cap}.
+void for_each_config(std::size_t n, std::uint64_t max_cap,
+                     const std::function<void(const std::vector<std::uint64_t>&)>& fn) {
+  std::vector<std::uint64_t> caps(n, 1);
+  const std::function<void(std::size_t, std::uint64_t)> rec =
+      [&](std::size_t pos, std::uint64_t upper) {
+        if (pos == n) {
+          fn(caps);
+          return;
+        }
+        for (std::uint64_t c = 1; c <= upper; ++c) {
+          caps[pos] = c;
+          rec(pos + 1, c);
+        }
+      };
+  rec(0, max_cap);
+}
+
+ClusterConfig cluster_from(const std::vector<std::uint64_t>& caps) {
+  std::vector<Device> devices;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    devices.push_back({i, caps[i], ""});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+TEST(Exhaustive, ExactFairnessOnEverySmallConfiguration) {
+  // n = 4 over caps {1..5}: C(8,4) = 70 sorted vectors; n = 5 over {1..4}:
+  // 56; each with k = 1..n.  ~600 (config, k) pairs, each checked exactly.
+  std::size_t checked = 0;
+  for (const auto& [n, max_cap] :
+       std::vector<std::pair<std::size_t, std::uint64_t>>{{3, 6}, {4, 5},
+                                                          {5, 4}}) {
+    for_each_config(n, max_cap, [&](const std::vector<std::uint64_t>& caps) {
+      for (unsigned k = 1; k <= caps.size(); ++k) {
+        const RedundantShare s(cluster_from(caps), k);
+        const std::vector<double> expected = s.exact_expected_copies();
+        const std::span<const double> adjusted = s.adjusted_capacities();
+        const double total =
+            std::accumulate(adjusted.begin(), adjusted.end(), 0.0);
+        for (std::size_t i = 0; i < caps.size(); ++i) {
+          const double target = static_cast<double>(k) * adjusted[i] / total;
+          ASSERT_NEAR(expected[i], target, 1e-9)
+              << "caps={" << caps[0] << "," << caps[1] << ",...} n=" << n
+              << " k=" << k << " bin=" << i;
+        }
+        ASSERT_EQ(s.tables().fairness_residual, 0.0)
+            << "moment matching left a residual";
+        ++checked;
+      }
+    });
+  }
+  EXPECT_GT(checked, 500u);
+}
+
+TEST(Exhaustive, CapacityBoundTightOnEverySmallConfiguration) {
+  for_each_config(4, 5, [&](const std::vector<std::uint64_t>& caps) {
+    for (unsigned k = 2; k <= 4; ++k) {
+      const std::vector<double> capsd(caps.begin(), caps.end());
+      const auto bound = static_cast<std::uint64_t>(
+          std::floor(max_balls(capsd, k) + 1e-9));
+      ASSERT_TRUE(greedy_pack(caps, k, bound).has_value())
+          << "k=" << k << " caps[0]=" << caps[0];
+      ASSERT_FALSE(greedy_pack(caps, k, bound + 1).has_value())
+          << "k=" << k << " caps[0]=" << caps[0];
+    }
+  });
+}
+
+TEST(Exhaustive, LossDistributionConsistentOnEverySmallConfiguration) {
+  // For every config and every single-device failure set: the distribution
+  // sums to 1 and its mean equals the device's expected copies.
+  for_each_config(4, 4, [&](const std::vector<std::uint64_t>& caps) {
+    const ClusterConfig config = cluster_from(caps);
+    const RedundantShare s(config, 2);
+    const std::vector<double> expected = s.exact_expected_copies();
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const std::vector<DeviceId> failed{s.canonical_uids()[i]};
+      const std::vector<double> dist =
+          copies_in_set_distribution(s, failed);
+      double total = 0.0, mean = 0.0;
+      for (std::size_t c = 0; c < dist.size(); ++c) {
+        total += dist[c];
+        mean += static_cast<double>(c) * dist[c];
+      }
+      ASSERT_NEAR(total, 1.0, 1e-12);
+      ASSERT_NEAR(mean, expected[i], 1e-12);
+      // Single failure never loses mirrored data (k = 2 > 1 failure).
+      ASSERT_NEAR(dist[2], 0.0, 1e-12);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace rds

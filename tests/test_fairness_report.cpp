@@ -1,0 +1,80 @@
+#include "src/sim/fairness_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/redundant_share.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace rds {
+namespace {
+
+TEST(FairnessReport, FieldsForFairPlacement) {
+  const ClusterConfig config = paper_heterogeneous_base();
+  const RedundantShare s(config, 2);
+  const BlockMap map(s, 50'000);
+  const FairnessReport report =
+      fairness_report(config, s.adjusted_capacities(), map);
+
+  ASSERT_EQ(report.devices.size(), config.size());
+  double copies = 0.0;
+  for (const DeviceUsage& u : report.devices) {
+    copies += static_cast<double>(u.copies);
+    EXPECT_GT(u.fair_copies, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(copies, static_cast<double>(map.total_copies()));
+  // A fair strategy stays within a few percent at this sample size.
+  EXPECT_LT(report.max_abs_deviation, 0.05);
+  EXPECT_LE(report.rms_deviation, report.max_abs_deviation);
+}
+
+TEST(FairnessReport, DetectsUnfairness) {
+  // Score a placement against deliberately wrong targets: all the weight on
+  // one device.  Deviations must explode.
+  const ClusterConfig config({{1, 100, ""}, {2, 100, ""}});
+  const RedundantShare s(config, 1);
+  const BlockMap map(s, 10'000);
+  const std::vector<double> skewed{1000.0, 1.0};
+  const FairnessReport report = fairness_report(config, skewed, map);
+  EXPECT_GT(report.max_abs_deviation, 1.0);
+}
+
+TEST(FairnessReport, FillPercentUsesRawCapacity) {
+  const ClusterConfig config({{1, 100, ""}, {2, 100, ""}});
+  const RedundantShare s(config, 2);
+  const BlockMap map(s, 50);  // 100 copies over 200 capacity
+  const FairnessReport report =
+      fairness_report(config, s.adjusted_capacities(), map);
+  EXPECT_NEAR(report.devices[0].fill_percent, 50.0, 1e-9);
+  EXPECT_NEAR(report.devices[1].fill_percent, 50.0, 1e-9);
+}
+
+TEST(FairnessReport, Validation) {
+  const ClusterConfig config({{1, 100, ""}, {2, 100, ""}});
+  const RedundantShare s(config, 2);
+  const BlockMap map(s, 10);
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW((void)fairness_report(config, wrong_size, map),
+               std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)fairness_report(config, zeros, map),
+               std::invalid_argument);
+}
+
+TEST(FairnessReport, PrintProducesTable) {
+  const ClusterConfig config({{1, 100, ""}, {2, 100, ""}});
+  const RedundantShare s(config, 2);
+  const BlockMap map(s, 50);
+  const FairnessReport report =
+      fairness_report(config, s.adjusted_capacities(), map);
+  std::ostringstream os;
+  report.print(os, "phase X");
+  const std::string text = os.str();
+  EXPECT_NE(text.find("phase X"), std::string::npos);
+  EXPECT_NE(text.find("fill%"), std::string::npos);
+  EXPECT_NE(text.find("max |deviation|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rds

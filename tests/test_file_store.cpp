@@ -1,0 +1,123 @@
+#include "src/storage/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/random.hpp"
+
+namespace rds {
+namespace {
+
+FileStore make_store(unsigned k = 2, std::size_t block_size = 64) {
+  const ClusterConfig pool({{1, 4000, ""},
+                            {2, 3000, ""},
+                            {3, 2000, ""},
+                            {4, 2000, ""},
+                            {5, 1000, ""}});
+  return FileStore(
+      VirtualDisk(pool, std::make_shared<MirroringScheme>(k)), block_size);
+}
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(FileStore, PutGetRoundTrip) {
+  FileStore store = make_store();
+  store.put("hello.txt", bytes_of("hello, world"));
+  const auto content = store.get("hello.txt");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, bytes_of("hello, world"));
+  EXPECT_TRUE(store.contains("hello.txt"));
+  EXPECT_FALSE(store.get("absent").has_value());
+}
+
+TEST(FileStore, MultiBlockFiles) {
+  FileStore store = make_store(2, 16);
+  Bytes big(1000);
+  Xoshiro256 rng(8);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng());
+  store.put("big.bin", big);
+  EXPECT_EQ(store.get("big.bin"), big);
+  const auto listing = store.list();
+  ASSERT_EQ(listing.size(), 1u);
+  EXPECT_EQ(listing[0].size, 1000u);
+  EXPECT_EQ(listing[0].blocks, (1000u + 15) / 16);
+}
+
+TEST(FileStore, EmptyFile) {
+  FileStore store = make_store();
+  store.put("empty", {});
+  const auto content = store.get("empty");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_TRUE(content->empty());
+}
+
+TEST(FileStore, ReplaceReleasesOldBlocks) {
+  FileStore store = make_store(2, 16);
+  store.put("f", Bytes(1600, 1));  // 100 blocks
+  const std::uint64_t blocks_after_first = store.disk().block_count();
+  store.put("f", Bytes(160, 2));  // 10 blocks
+  EXPECT_EQ(store.disk().block_count(), blocks_after_first - 90);
+  EXPECT_EQ(*store.get("f"), Bytes(160, 2));
+}
+
+TEST(FileStore, RemoveFreesAndReuses) {
+  FileStore store = make_store(2, 16);
+  store.put("a", Bytes(320, 3));
+  const std::uint64_t used = store.disk().block_count();
+  EXPECT_TRUE(store.remove("a"));
+  EXPECT_FALSE(store.remove("a"));
+  EXPECT_EQ(store.disk().block_count(), used - 20);
+  // Freed addresses are reused.
+  store.put("b", Bytes(320, 4));
+  EXPECT_EQ(store.disk().block_count(), used);
+  EXPECT_EQ(*store.get("b"), Bytes(320, 4));
+}
+
+TEST(FileStore, SurvivesDeviceFailureAndRebuild) {
+  FileStore store = make_store(3, 32);
+  Xoshiro256 rng(12);
+  for (int f = 0; f < 20; ++f) {
+    Bytes data(100 + rng.next_below(400));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    store.put("file-" + std::to_string(f), data);
+  }
+  store.disk().fail_device(1);  // biggest device
+  // Readable degraded.
+  EXPECT_TRUE(store.get("file-7").has_value());
+  EXPECT_GT(store.disk().rebuild(), 0u);
+  for (int f = 0; f < 20; ++f) {
+    EXPECT_TRUE(store.get("file-" + std::to_string(f)).has_value());
+  }
+  EXPECT_TRUE(store.disk().scrub().clean());
+}
+
+TEST(FileStore, SurvivesPoolReshape) {
+  FileStore store = make_store(2, 32);
+  store.put("keep", Bytes(500, 9));
+  store.disk().add_device({9, 5000, "new"});
+  store.disk().remove_device(5);
+  EXPECT_EQ(*store.get("keep"), Bytes(500, 9));
+  EXPECT_TRUE(store.disk().scrub().clean());
+}
+
+TEST(FileStore, ListIsSorted) {
+  FileStore store = make_store();
+  store.put("b", bytes_of("2"));
+  store.put("a", bytes_of("1"));
+  store.put("c", bytes_of("3"));
+  const auto listing = store.list();
+  ASSERT_EQ(listing.size(), 3u);
+  EXPECT_EQ(listing[0].name, "a");
+  EXPECT_EQ(listing[2].name, "c");
+}
+
+TEST(FileStore, Validation) {
+  const ClusterConfig pool({{1, 100, ""}, {2, 100, ""}});
+  EXPECT_THROW(
+      FileStore(VirtualDisk(pool, std::make_shared<MirroringScheme>(2)), 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,139 @@
+#include "src/storage/erasure/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rds {
+namespace {
+
+using gf256::add;
+using gf256::div;
+using gf256::inv;
+using gf256::mul;
+using gf256::pow;
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(7, 7), 0);
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, 1), x);
+    EXPECT_EQ(mul(1, x), x);
+    EXPECT_EQ(mul(x, 0), 0);
+    EXPECT_EQ(mul(0, x), 0);
+  }
+}
+
+TEST(GF256, KnownProducts) {
+  // In GF(2^8)/0x11d: 0x8E * 2 = 0x11C, reduced by 0x11d -> 0x01.
+  EXPECT_EQ(mul(0x8E, 0x02), 0x01);
+  // 3 * 3 = (x+1)^2 = x^2 + 1 = 0x05 (no reduction needed).
+  EXPECT_EQ(mul(0x03, 0x03), 0x05);
+  // 0x80 * 2 = 0x100 -> xor 0x11d = 0x1d.
+  EXPECT_EQ(mul(0x80, 0x02), 0x1D);
+}
+
+TEST(GF256, MultiplicationCommutesOnSample) {
+  for (unsigned a = 1; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(GF256, AssociativityOnSample) {
+  for (unsigned a = 1; a < 256; a += 31) {
+    for (unsigned b = 1; b < 256; b += 37) {
+      for (unsigned c = 1; c < 256; c += 41) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(mul(x, y), z), mul(x, mul(y, z)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributivityOnSample) {
+  for (unsigned a = 1; a < 256; a += 13) {
+    for (unsigned b = 0; b < 256; b += 17) {
+      for (unsigned c = 0; c < 256; c += 19) {
+        const auto x = static_cast<std::uint8_t>(a);
+        const auto y = static_cast<std::uint8_t>(b);
+        const auto z = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(mul(x, add(y, z)), add(mul(x, y), mul(x, z)));
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonZeroElementHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, inv(x)), 1) << "a=" << a;
+    EXPECT_EQ(div(x, x), 1);
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 9) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(div(mul(x, y), y), x);
+    }
+  }
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (unsigned a = 2; a < 256; a += 61) {
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(pow(static_cast<std::uint8_t>(a), e), acc);
+      acc = mul(acc, static_cast<std::uint8_t>(a));
+    }
+  }
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(0, 5), 0);
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: 2^255 == 1 and 2^e != 1 earlier.
+  EXPECT_EQ(pow(2, 255), 1);
+  for (unsigned e = 1; e < 255; ++e) {
+    EXPECT_NE(pow(2, e), 1) << "order divides " << e;
+  }
+}
+
+TEST(GF256, MulAddRowOperation) {
+  std::vector<std::uint8_t> dst{1, 2, 3, 0};
+  const std::vector<std::uint8_t> src{5, 0, 7, 9};
+  gf256::mul_add(dst, src, 3);
+  EXPECT_EQ(dst[0], add(1, mul(3, 5)));
+  EXPECT_EQ(dst[1], 2);  // src 0 contributes nothing
+  EXPECT_EQ(dst[2], add(3, mul(3, 7)));
+  EXPECT_EQ(dst[3], mul(3, 9));
+}
+
+TEST(GF256, MulAddWithCoefficientOneIsXor) {
+  std::vector<std::uint8_t> dst{1, 2, 3};
+  const std::vector<std::uint8_t> src{4, 5, 6};
+  gf256::mul_add(dst, src, 1);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{1 ^ 4, 2 ^ 5, 3 ^ 6}));
+}
+
+TEST(GF256, ScaleInPlace) {
+  std::vector<std::uint8_t> v{1, 2, 0};
+  gf256::scale(v, 2);
+  EXPECT_EQ(v[0], mul(1, 2));
+  EXPECT_EQ(v[1], mul(2, 2));
+  EXPECT_EQ(v[2], 0);
+}
+
+}  // namespace
+}  // namespace rds

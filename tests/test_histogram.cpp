@@ -1,0 +1,57 @@
+#include "src/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.hpp"
+
+namespace rds {
+namespace {
+
+TEST(LogHistogram, EmptyState) {
+  const LogHistogram h(1.0, 1000.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogram, MeanMinMaxAreExact) {
+  LogHistogram h(1.0, 1000.0);
+  h.add(10.0);
+  h.add(20.0);
+  h.add(60.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 60.0);
+}
+
+TEST(LogHistogram, QuantilesWithinRelativeError) {
+  LogHistogram h(1.0, 100'000.0, 1.05);
+  Xoshiro256 rng(5);
+  // Uniform on [100, 200]: median 150, p99 ~ 199.
+  for (int i = 0; i < 200'000; ++i) {
+    h.add(100.0 + 100.0 * rng.next_unit());
+  }
+  EXPECT_NEAR(h.quantile(0.5), 150.0, 150.0 * 0.06);
+  EXPECT_NEAR(h.quantile(0.99), 199.0, 199.0 * 0.06);
+  EXPECT_NEAR(h.quantile(0.0), 100.0, 100.0 * 0.06);
+  EXPECT_NEAR(h.quantile(1.0), 200.0, 200.0 * 0.06);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampToEdges) {
+  LogHistogram h(10.0, 100.0);
+  h.add(0.001);
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(0.0), 10.0);
+  EXPECT_GE(h.quantile(1.0), 100.0);
+}
+
+TEST(LogHistogram, Validation) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

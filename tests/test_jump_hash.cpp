@@ -1,0 +1,95 @@
+#include "src/placement/jump_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+TEST(JumpHash, CoreFunctionBasics) {
+  EXPECT_EQ(jump_consistent_hash(123, 1), 0u);
+  EXPECT_THROW((void)jump_consistent_hash(1, 0), std::invalid_argument);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(jump_consistent_hash(key, 7), 7u);
+  }
+}
+
+TEST(JumpHash, UniformDistribution) {
+  constexpr std::uint32_t kBuckets = 10;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  constexpr std::uint64_t kKeys = 200'000;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    ++counts[jump_consistent_hash(key * 0x9e3779b97f4a7c15ULL, kBuckets)];
+  }
+  const std::vector<double> expected(kBuckets,
+                                     static_cast<double>(kKeys) / kBuckets);
+  EXPECT_LT(chi_square(counts, expected), chi_square_critical_999(kBuckets - 1));
+}
+
+TEST(JumpHash, OptimalMovementOnGrowth) {
+  // Growing n -> n+1 moves exactly the keys that land on the new bucket:
+  // a 1/(n+1) fraction, and nothing reshuffles among old buckets.
+  constexpr std::uint64_t kKeys = 100'000;
+  std::uint64_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::uint32_t before = jump_consistent_hash(key, 9);
+    const std::uint32_t after = jump_consistent_hash(key, 10);
+    if (before != after) {
+      ++moved;
+      EXPECT_EQ(after, 9u) << "key moved between old buckets";
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(moved), kKeys / 10.0, 0.01 * kKeys);
+}
+
+TEST(JumpHash, StrategyAdapterIgnoresWeights) {
+  // Documented: uniform across devices regardless of capacity.
+  const ClusterConfig config({{1, 1000, ""}, {2, 10, ""}, {3, 10, ""}});
+  const JumpHash s(config);
+  std::uint64_t counts[4] = {};
+  constexpr std::uint64_t kBalls = 60'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) ++counts[s.place(a)];
+  for (DeviceId uid = 1; uid <= 3; ++uid) {
+    EXPECT_NEAR(static_cast<double>(counts[uid]) / kBalls, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(JumpHash, AppendOnlyGrowthIsCheap) {
+  ClusterConfig before({{1, 100, ""}, {2, 100, ""}, {3, 100, ""}});
+  ClusterConfig after = before;
+  after.add_device({4, 100, ""});  // uid 4 > all: appended at the end
+  const JumpHash sb(before), sa(after);
+  std::uint64_t moved = 0;
+  constexpr std::uint64_t kBalls = 40'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    if (sb.place(a) != sa.place(a)) ++moved;
+  }
+  EXPECT_NEAR(static_cast<double>(moved), kBalls / 4.0, 0.01 * kBalls);
+}
+
+TEST(JumpHash, MidRangeRemovalIsExpensive) {
+  // The documented restriction: removing a device that is NOT the last
+  // renumbers the tail and reshuffles far more than its fair share.
+  ClusterConfig before(
+      {{1, 100, ""}, {2, 100, ""}, {3, 100, ""}, {4, 100, ""}});
+  ClusterConfig after = before;
+  after.remove_device(1);  // first bucket disappears, all others shift
+  const JumpHash sb(before), sa(after);
+  std::uint64_t moved = 0;
+  constexpr std::uint64_t kBalls = 40'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    if (sb.place(a) != sa.place(a)) ++moved;
+  }
+  // Far more than the fair 25%.
+  EXPECT_GT(moved, kBalls / 2);
+}
+
+TEST(JumpHash, Validation) {
+  EXPECT_THROW(JumpHash(ClusterConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,122 @@
+#include "src/core/loss_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/block_map.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig cluster_from(const std::vector<std::uint64_t>& caps) {
+  std::vector<Device> devices;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    devices.push_back({i, caps[i], ""});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+TEST(LossAnalysis, DistributionSumsToOne) {
+  const RedundantShare s(cluster_from({5, 4, 3, 2, 1}), 3);
+  const std::vector<DeviceId> failed{0, 2};
+  const std::vector<double> dist = copies_in_set_distribution(s, failed);
+  ASSERT_EQ(dist.size(), 4u);
+  double total = 0.0;
+  for (const double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(LossAnalysis, EmptySetMeansNoLoss) {
+  const RedundantShare s(cluster_from({5, 4, 3, 2, 1}), 2);
+  const std::vector<double> dist = copies_in_set_distribution(s, {});
+  EXPECT_NEAR(dist[0], 1.0, 1e-12);
+  EXPECT_NEAR(exact_loss_probability(s, {}), 0.0, 1e-12);
+}
+
+TEST(LossAnalysis, AllDevicesMeansTotalLoss) {
+  const RedundantShare s(cluster_from({5, 4, 3}), 2);
+  const std::vector<DeviceId> all{0, 1, 2};
+  EXPECT_NEAR(exact_loss_probability(s, all), 1.0, 1e-12);
+}
+
+TEST(LossAnalysis, SingleFailureNeverLosesMirroredData) {
+  const RedundantShare s(cluster_from({5, 4, 3, 2}), 2);
+  for (DeviceId uid = 0; uid < 4; ++uid) {
+    const std::vector<DeviceId> failed{uid};
+    EXPECT_NEAR(exact_loss_probability(s, failed), 0.0, 1e-12);
+    // But the device does hold copies: P(1 copy in set) > 0.
+    const std::vector<double> dist = copies_in_set_distribution(s, failed);
+    EXPECT_GT(dist[1], 0.0);
+  }
+}
+
+TEST(LossAnalysis, ExpectedCopiesInSetMatchesFairShares) {
+  // E[copies in F] = sum over F of per-device expected copies.
+  const RedundantShare s(cluster_from({6, 5, 4, 3, 2}), 3);
+  const std::vector<DeviceId> failed{1, 3};
+  const std::vector<double> dist = copies_in_set_distribution(s, failed);
+  double expected_in_set = 0.0;
+  for (std::size_t c = 0; c < dist.size(); ++c) {
+    expected_in_set += static_cast<double>(c) * dist[c];
+  }
+  const std::vector<double> per_bin = s.exact_expected_copies();
+  double direct = 0.0;
+  for (std::size_t i = 0; i < s.canonical_uids().size(); ++i) {
+    const DeviceId uid = s.canonical_uids()[i];
+    if (uid == 1 || uid == 3) direct += per_bin[i];
+  }
+  EXPECT_NEAR(expected_in_set, direct, 1e-12);
+}
+
+TEST(LossAnalysis, MatchesMonteCarlo) {
+  const ClusterConfig config = cluster_from({9, 7, 5, 3, 2, 1});
+  const RedundantShare s(config, 2);
+  const std::vector<DeviceId> failed{0, 1};  // the two biggest devices
+
+  const double exact = exact_loss_probability(s, failed);
+  constexpr std::uint64_t kBalls = 200'000;
+  const BlockMap map(s, kBalls);
+  std::uint64_t lost = 0;
+  for (std::uint64_t b = 0; b < kBalls; ++b) {
+    const auto copies = map.copies(b);
+    bool all_in = true;
+    for (const DeviceId d : copies) {
+      if (d != 0 && d != 1) all_in = false;
+    }
+    if (all_in) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kBalls, exact,
+              4.0 * std::sqrt(exact / kBalls) + 1e-3);
+  EXPECT_GT(exact, 0.0);
+}
+
+TEST(LossAnalysis, ErasureThresholdSemantics) {
+  // RS(2+2)-style: k = 4 fragments, any 2 reconstruct.  Losing two devices
+  // loses a ball only if 3+ fragments were inside.
+  const RedundantShare s(cluster_from({5, 4, 3, 2, 1, 1}), 4);
+  const std::vector<DeviceId> failed{0, 1};
+  const double mirror_loss = exact_loss_probability(s, failed, 1);
+  const double rs_loss = exact_loss_probability(s, failed, 2);
+  // Needing only 1 surviving fragment (mirror) is safer than needing 2.
+  EXPECT_LE(mirror_loss, rs_loss);
+  // With 2 failed devices, at most 2 of 4 fragments are inside: mirror-loss
+  // (all 4 inside) is impossible and rs_loss (3+ inside) as well.
+  EXPECT_NEAR(mirror_loss, 0.0, 1e-12);
+  EXPECT_NEAR(rs_loss, 0.0, 1e-12);
+  // Needing 3 survivors (tolerates only 1 loss) does lose data.
+  EXPECT_GT(exact_loss_probability(s, failed, 3), 0.0);
+}
+
+TEST(LossAnalysis, Validation) {
+  const RedundantShare s(cluster_from({3, 2, 1}), 2);
+  EXPECT_THROW((void)exact_loss_probability(s, {}, 0), std::invalid_argument);
+  EXPECT_THROW((void)exact_loss_probability(s, {}, 3), std::invalid_argument);
+  // Unknown uids are ignored.
+  const std::vector<DeviceId> unknown{42};
+  EXPECT_NEAR(exact_loss_probability(s, unknown), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rds

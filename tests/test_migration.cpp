@@ -1,0 +1,66 @@
+#include "src/storage/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/redundant_share.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/sim/workload.hpp"
+
+namespace rds {
+namespace {
+
+TEST(Migration, NoChangeNoMoves) {
+  const ClusterConfig config = paper_heterogeneous_base();
+  const RedundantShare s(config, 2);
+  const auto blocks = sequential_addresses(1000);
+  const MigrationPlan plan = plan_migration(s, s, blocks);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_EQ(plan.unchanged_fragments, 2000u);
+  EXPECT_EQ(plan.total_fragments, 2000u);
+  EXPECT_EQ(plan.moved_fraction(), 0.0);
+}
+
+TEST(Migration, MovesAreConsistentWithStrategies) {
+  const ClusterConfig before = paper_heterogeneous_base();
+  const EditResult edit =
+      apply_edit(before, EditKind::kAddBiggest, 50, 100'000);
+  const RedundantShare sb(before, 2);
+  const RedundantShare sa(edit.config, 2);
+  const auto blocks = sequential_addresses(5000);
+  const MigrationPlan plan = plan_migration(sb, sa, blocks);
+
+  EXPECT_FALSE(plan.moves.empty());
+  EXPECT_EQ(plan.unchanged_fragments + plan.moves.size(),
+            plan.total_fragments);
+  for (const FragmentMove& m : plan.moves) {
+    EXPECT_NE(m.from, m.to);
+    // Each move's endpoints must match the two placements.
+    EXPECT_EQ(sb.place(m.block)[m.fragment], m.from);
+    EXPECT_EQ(sa.place(m.block)[m.fragment], m.to);
+  }
+}
+
+TEST(Migration, AddBiggestMovesBoundedFraction) {
+  // Adding one 1.3M disk to a 6.8M cluster should migrate roughly its fair
+  // share (1.3/8.1 ~ 16%) and certainly not the whole dataset.
+  const ClusterConfig before = paper_heterogeneous_base();
+  const EditResult edit =
+      apply_edit(before, EditKind::kAddBiggest, 50, 100'000);
+  const RedundantShare sb(before, 2);
+  const RedundantShare sa(edit.config, 2);
+  const auto blocks = sequential_addresses(20'000);
+  const MigrationPlan plan = plan_migration(sb, sa, blocks);
+  EXPECT_GT(plan.moved_fraction(), 0.10);
+  EXPECT_LT(plan.moved_fraction(), 0.45);
+}
+
+TEST(Migration, RejectsReplicationMismatch) {
+  const ClusterConfig config = paper_heterogeneous_base();
+  const RedundantShare s2(config, 2);
+  const RedundantShare s3(config, 3);
+  const auto blocks = sequential_addresses(10);
+  EXPECT_THROW((void)plan_migration(s2, s3, blocks), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

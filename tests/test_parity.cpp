@@ -1,0 +1,56 @@
+#include "src/storage/erasure/parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rds {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(XorParity, ParityOfKnownShards) {
+  const std::vector<Bytes> shards{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Bytes parity = xor_parity(shards);
+  EXPECT_EQ(parity, (Bytes{1 ^ 4 ^ 7, 2 ^ 5 ^ 8, 3 ^ 6 ^ 9}));
+}
+
+TEST(XorParity, SingleShardParityIsCopy) {
+  const std::vector<Bytes> shards{{9, 8, 7}};
+  EXPECT_EQ(xor_parity(shards), (Bytes{9, 8, 7}));
+}
+
+TEST(XorParity, RejectsEmptyAndMismatched) {
+  EXPECT_THROW((void)xor_parity(std::vector<Bytes>{}), std::invalid_argument);
+  const std::vector<Bytes> bad{{1, 2}, {1}};
+  EXPECT_THROW((void)xor_parity(bad), std::invalid_argument);
+}
+
+TEST(XorReconstruct, RecoversAnySingleLoss) {
+  const std::vector<Bytes> data{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Bytes parity = xor_parity(data);
+  std::vector<std::optional<Bytes>> group{data[0], data[1], data[2], parity};
+  for (std::size_t lost = 0; lost < group.size(); ++lost) {
+    auto damaged = group;
+    const Bytes original = *damaged[lost];
+    damaged[lost].reset();
+    EXPECT_EQ(xor_reconstruct(damaged), original) << "lost " << lost;
+  }
+}
+
+TEST(XorReconstruct, RejectsWrongMissingCount) {
+  const std::vector<std::optional<Bytes>> none_missing{Bytes{1}, Bytes{2}};
+  EXPECT_THROW((void)xor_reconstruct(none_missing), std::invalid_argument);
+  const std::vector<std::optional<Bytes>> two_missing{std::nullopt,
+                                                      std::nullopt, Bytes{1}};
+  EXPECT_THROW((void)xor_reconstruct(two_missing), std::invalid_argument);
+}
+
+TEST(XorReconstruct, RejectsSizeMismatch) {
+  const std::vector<std::optional<Bytes>> bad{Bytes{1, 2}, std::nullopt,
+                                              Bytes{1}};
+  EXPECT_THROW((void)xor_reconstruct(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,122 @@
+#include "src/core/precomputed_redundant_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/block_map.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig cluster_from(const std::vector<std::uint64_t>& caps) {
+  std::vector<Device> devices;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    devices.push_back({i, caps[i], ""});
+  }
+  return ClusterConfig(std::move(devices));
+}
+
+TEST(PrecomputedRS, DeterministicAndDistinct) {
+  const PrecomputedRedundantShare s(cluster_from({9, 7, 5, 3, 2, 1}), 3);
+  std::vector<DeviceId> out(3), again(3);
+  for (std::uint64_t a = 0; a < 5000; ++a) {
+    s.place(a, out);
+    s.place(a, again);
+    EXPECT_EQ(out, again);
+    std::vector<DeviceId> sorted = out;
+    std::ranges::sort(sorted);
+    EXPECT_EQ(std::ranges::adjacent_find(sorted), sorted.end());
+  }
+}
+
+TEST(PrecomputedRS, FairnessOnPaperLadder) {
+  const ClusterConfig config = paper_heterogeneous_base();
+  const PrecomputedRedundantShare s(config, 2);
+  constexpr std::uint64_t kBalls = 120'000;
+  const BlockMap map(s, kBalls);
+  const auto counts = map.device_counts();
+  std::vector<std::uint64_t> observed;
+  std::vector<double> expected;
+  const double total = static_cast<double>(config.total_capacity());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    observed.push_back(counts.at(config[i].uid));
+    expected.push_back(2.0 * kBalls *
+                       static_cast<double>(config[i].capacity) / total);
+  }
+  EXPECT_LT(chi_square(observed, expected),
+            chi_square_critical_999(config.size() - 1));
+}
+
+TEST(PrecomputedRS, FairnessOnInhomogeneousConfigs) {
+  for (const auto& caps : std::vector<std::vector<std::uint64_t>>{
+           {3, 3, 1, 1}, {4, 4, 4, 1, 1}, {3, 2, 2, 2, 1}, {10, 1, 1}}) {
+    const unsigned k = caps.size() > 4 ? 3 : 2;
+    const ClusterConfig config = cluster_from(caps);
+    const PrecomputedRedundantShare s(config, k);
+    constexpr std::uint64_t kBalls = 120'000;
+    const BlockMap map(s, kBalls);
+    const auto counts = map.device_counts();
+    const std::span<const double> adjusted = s.tables().caps;
+    double total = 0.0;
+    for (const double c : adjusted) total += c;
+    std::vector<std::uint64_t> observed;
+    std::vector<double> expected;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      const auto it = counts.find(s.tables().uids[i]);
+      observed.push_back(it == counts.end() ? 0 : it->second);
+      expected.push_back(static_cast<double>(k) * kBalls * adjusted[i] /
+                         total);
+    }
+    EXPECT_LT(chi_square(observed, expected),
+              chi_square_critical_999(config.size() - 1))
+        << "caps[0]=" << caps[0];
+  }
+}
+
+TEST(PrecomputedRS, TableMemoryIsBounded) {
+  const ClusterConfig config = paper_heterogeneous_base();
+  const PrecomputedRedundantShare s(config, 4);
+  // k * n^2 upper bound on entries.
+  EXPECT_LE(s.table_entries(), 4u * 8u * 8u);
+  EXPECT_GT(s.table_entries(), 0u);
+}
+
+TEST(PrecomputedRS, MatchesChainLawStatistically) {
+  // Same Markov kernel as RedundantShare: the marginal distribution of each
+  // copy index must agree between the implementations.
+  const ClusterConfig config = cluster_from({7, 5, 4, 2, 1, 1});
+  const RedundantShare slow(config, 3);
+  const PrecomputedRedundantShare pre(config, 3);
+  constexpr std::uint64_t kBalls = 150'000;
+  for (unsigned copy = 0; copy < 3; ++copy) {
+    std::vector<std::uint64_t> cs(config.size(), 0), cp(config.size(), 0);
+    std::vector<DeviceId> out(3);
+    for (std::uint64_t a = 0; a < kBalls; ++a) {
+      slow.place(a, out);
+      ++cs[config.index_of(out[copy]).value()];
+      pre.place(a, out);
+      ++cp[config.index_of(out[copy]).value()];
+    }
+    std::vector<double> expected;
+    for (const std::uint64_t c : cs) {
+      expected.push_back(std::max(1.0, static_cast<double>(c)));
+    }
+    EXPECT_LT(chi_square(cp, expected),
+              2.0 * chi_square_critical_999(config.size() - 1))
+        << "copy " << copy;
+  }
+}
+
+TEST(PrecomputedRS, Validation) {
+  EXPECT_THROW(PrecomputedRedundantShare(cluster_from({1, 1}), 3),
+               std::invalid_argument);
+  EXPECT_THROW(PrecomputedRedundantShare(cluster_from({1, 1}), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

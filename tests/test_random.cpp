@@ -1,0 +1,60 @@
+#include "src/util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace rds {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(1), b(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, NextUnitInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256 rng(11);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1'000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextBelowZeroBound) {
+  Xoshiro256 rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr std::uint64_t kBound = 10;
+  std::array<int, kBound> counts{};
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBound, 4 * std::sqrt(kN / kBound));
+  }
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,142 @@
+#include "src/storage/erasure/rdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/util/random.hpp"
+
+namespace rds {
+namespace {
+
+Bytes make_block(std::size_t size, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes block(size);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+  return block;
+}
+
+std::vector<std::optional<Bytes>> as_optionals(
+    const std::vector<Bytes>& fragments) {
+  return {fragments.begin(), fragments.end()};
+}
+
+TEST(Rdp, RejectsNonPrimes) {
+  EXPECT_THROW(RdpScheme(0), std::invalid_argument);
+  EXPECT_THROW(RdpScheme(2), std::invalid_argument);
+  EXPECT_THROW(RdpScheme(4), std::invalid_argument);
+  EXPECT_THROW(RdpScheme(15), std::invalid_argument);
+  EXPECT_NO_THROW(RdpScheme(3));
+  EXPECT_NO_THROW(RdpScheme(13));
+}
+
+TEST(Rdp, CountsAndName) {
+  const RdpScheme r(5);
+  EXPECT_EQ(r.fragment_count(), 6u);  // 4 data + row parity + diag parity
+  EXPECT_EQ(r.min_fragments(), 4u);
+  EXPECT_EQ(r.prime(), 5u);
+  EXPECT_EQ(r.name(), "rdp(p=5)");
+}
+
+TEST(Rdp, RoundTripAllPresent) {
+  for (const unsigned p : {3u, 5u, 7u}) {
+    const RdpScheme r(p);
+    const Bytes block = make_block(1000, p);
+    const auto fragments = r.encode(block);
+    ASSERT_EQ(fragments.size(), p + 1);
+    EXPECT_EQ(r.decode(as_optionals(fragments), block.size()), block);
+  }
+}
+
+TEST(Rdp, DataColumnsAreSystematic) {
+  const RdpScheme r(5);
+  Bytes block(4 * 4 * 8);  // (p-1) data columns x (p-1) chunks x 8 bytes
+  std::iota(block.begin(), block.end(), 0);
+  const auto fragments = r.encode(block);
+  EXPECT_TRUE(
+      std::equal(fragments[0].begin(), fragments[0].end(), block.begin()));
+}
+
+TEST(Rdp, RowParityProperty) {
+  const unsigned p = 5;
+  const RdpScheme r(p);
+  const Bytes block = make_block(320, 3);
+  const auto fragments = r.encode(block);
+  // XOR of data columns equals the row-parity column, bytewise.
+  for (std::size_t b = 0; b < fragments[0].size(); ++b) {
+    std::uint8_t x = 0;
+    for (unsigned j = 0; j < p - 1; ++j) x ^= fragments[j][b];
+    EXPECT_EQ(x, fragments[p - 1][b]);
+  }
+}
+
+TEST(Rdp, ToleratesEverySingleErasure) {
+  const RdpScheme r(7);
+  const Bytes block = make_block(777, 9);
+  const auto fragments = r.encode(block);
+  for (unsigned lost = 0; lost < 8; ++lost) {
+    auto damaged = as_optionals(fragments);
+    damaged[lost].reset();
+    EXPECT_EQ(r.decode(damaged, block.size()), block) << "lost " << lost;
+    EXPECT_EQ(r.reconstruct_fragment(damaged, lost), fragments[lost]);
+  }
+}
+
+TEST(Rdp, ToleratesEveryDoubleErasure) {
+  for (const unsigned p : {3u, 5u, 7u, 11u}) {
+    const RdpScheme r(p);
+    const Bytes block = make_block(57 * p, p * 13);
+    const auto fragments = r.encode(block);
+    for (unsigned i = 0; i < p + 1; ++i) {
+      for (unsigned j = i + 1; j < p + 1; ++j) {
+        auto damaged = as_optionals(fragments);
+        damaged[i].reset();
+        damaged[j].reset();
+        ASSERT_EQ(r.decode(damaged, block.size()), block)
+            << "p=" << p << " lost " << i << "," << j;
+        ASSERT_EQ(r.reconstruct_fragment(damaged, i), fragments[i])
+            << "p=" << p << " lost " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Rdp, TripleErasureRejected) {
+  const RdpScheme r(5);
+  auto damaged = as_optionals(r.encode(make_block(100, 1)));
+  damaged[0].reset();
+  damaged[2].reset();
+  damaged[5].reset();
+  EXPECT_THROW((void)r.decode(damaged, 100), std::invalid_argument);
+}
+
+TEST(Rdp, OddBlockSizes) {
+  const RdpScheme r(3);
+  for (const std::size_t size : {0u, 1u, 3u, 4u, 5u, 97u}) {
+    const Bytes block = make_block(size, size + 5);
+    auto damaged = as_optionals(r.encode(block));
+    if (size > 0) {
+      damaged[0].reset();
+      damaged[2].reset();  // row parity
+    }
+    EXPECT_EQ(r.decode(damaged, size), block) << "size " << size;
+  }
+}
+
+TEST(Rdp, Validation) {
+  const RdpScheme r(3);
+  const std::vector<std::optional<Bytes>> wrong_count(3);
+  EXPECT_THROW((void)r.decode(wrong_count, 4), std::invalid_argument);
+  std::vector<std::optional<Bytes>> mismatched(4);
+  mismatched[0] = Bytes(4);
+  mismatched[1] = Bytes(6);
+  EXPECT_THROW((void)r.decode(mismatched, 8), std::invalid_argument);
+  const std::vector<std::optional<Bytes>> all_missing(4);
+  EXPECT_THROW((void)r.decode(all_missing, 4), std::invalid_argument);
+  std::vector<std::optional<Bytes>> ok(4, Bytes(4));
+  EXPECT_THROW((void)r.reconstruct_fragment(ok, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

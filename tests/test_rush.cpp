@@ -1,0 +1,103 @@
+#include "src/placement/rush.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rds {
+namespace {
+
+std::vector<SubCluster> two_clusters() {
+  return {
+      {{0, 1, 2, 3}, 1.0},  // oldest: 4 disks, weight 1
+      {{10, 11}, 2.0},      // newer: 2 disks, weight 2
+  };
+}
+
+TEST(Rush, CopiesAreDistinctAndDeterministic) {
+  const RushPlacement s(two_clusters(), 2);
+  std::vector<DeviceId> out(2), again(2);
+  for (std::uint64_t a = 0; a < 2000; ++a) {
+    s.place(a, out);
+    EXPECT_NE(out[0], out[1]);
+    s.place(a, again);
+    EXPECT_EQ(out, again);
+  }
+}
+
+TEST(Rush, DeviceCount) {
+  const RushPlacement s(two_clusters(), 2);
+  EXPECT_EQ(s.device_count(), 6u);
+}
+
+TEST(Rush, RoughWeightProportionality) {
+  // Cluster weights: old 4*1 = 4, new 2*2 = 4 -> each should hold ~half
+  // the copies.
+  const RushPlacement s(two_clusters(), 2);
+  std::map<DeviceId, std::uint64_t> counts;
+  std::vector<DeviceId> out(2);
+  constexpr std::uint64_t kBalls = 50'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    for (const DeviceId d : out) ++counts[d];
+  }
+  std::uint64_t old_cluster = 0, new_cluster = 0;
+  for (const auto& [uid, c] : counts) {
+    (uid >= 10 ? new_cluster : old_cluster) += c;
+  }
+  const double frac_new =
+      static_cast<double>(new_cluster) / (2.0 * kBalls);
+  EXPECT_NEAR(frac_new, 0.5, 0.05);
+}
+
+TEST(Rush, AddingSubClusterMovesOnlyTowardIt) {
+  std::vector<SubCluster> before = two_clusters();
+  std::vector<SubCluster> after = before;
+  after.push_back({{20, 21, 22}, 1.0});
+  const RushPlacement sb(before, 2);
+  const RushPlacement sa(after, 2);
+  std::vector<DeviceId> ob(2), oa(2);
+  std::uint64_t moved = 0, into_new = 0;
+  constexpr std::uint64_t kBalls = 20'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    sb.place(a, ob);
+    sa.place(a, oa);
+    std::ranges::sort(ob);
+    std::ranges::sort(oa);
+    std::vector<DeviceId> gained;
+    std::ranges::set_difference(oa, ob, std::back_inserter(gained));
+    moved += gained.size();
+    into_new += static_cast<std::uint64_t>(
+        std::ranges::count_if(gained, [](DeviceId d) { return d >= 20; }));
+  }
+  EXPECT_GT(moved, 0u);
+  // RUSH's signature: the overwhelming majority of moved copies land on the
+  // new sub-cluster (residual churn between old clusters stays small).
+  EXPECT_GT(static_cast<double>(into_new), 0.9 * static_cast<double>(moved));
+}
+
+TEST(Rush, ChunkRestrictionEnforced) {
+  // First sub-cluster smaller than k is the documented RUSH restriction.
+  EXPECT_THROW(RushPlacement({{{0}, 1.0}, {{1, 2, 3}, 1.0}}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(RushPlacement({}, 2), std::invalid_argument);
+  EXPECT_THROW(RushPlacement({{{0, 1}, 0.0}}, 2), std::invalid_argument);
+  EXPECT_THROW(RushPlacement({{{}, 1.0}}, 1), std::invalid_argument);
+  EXPECT_THROW(RushPlacement({{{0, 1}, 1.0}}, 0), std::invalid_argument);
+}
+
+TEST(Rush, SingleClusterDegeneratesToPermutation) {
+  const RushPlacement s({{{0, 1, 2, 3, 4}, 1.0}}, 5);
+  std::vector<DeviceId> out(5);
+  for (std::uint64_t a = 0; a < 200; ++a) {
+    s.place(a, out);
+    std::vector<DeviceId> sorted = out;
+    std::ranges::sort(sorted);
+    EXPECT_EQ(sorted, (std::vector<DeviceId>{0, 1, 2, 3, 4}));
+  }
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,81 @@
+#include "src/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rds {
+namespace {
+
+TEST(Scenario, PaperBaseLadder) {
+  const ClusterConfig c = paper_heterogeneous_base();
+  ASSERT_EQ(c.size(), 8u);
+  // Canonical order is descending: 1.2M first, 500k last.
+  EXPECT_EQ(c[0].capacity, 1'200'000u);
+  EXPECT_EQ(c[7].capacity, 500'000u);
+  EXPECT_EQ(c.total_capacity(), 6'800'000u);
+}
+
+TEST(Scenario, HomogeneousCluster) {
+  const ClusterConfig c = homogeneous_cluster(5, 1000);
+  ASSERT_EQ(c.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(c[i].capacity, 1000u);
+}
+
+TEST(Scenario, Figure2PhaseEvolution) {
+  const auto phases = paper_figure2_phases();
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(phases[0].config.size(), 8u);
+  EXPECT_EQ(phases[1].config.size(), 10u);
+  EXPECT_EQ(phases[2].config.size(), 12u);
+  EXPECT_EQ(phases[3].config.size(), 10u);
+  EXPECT_EQ(phases[4].config.size(), 8u);
+  // Phase 2 tops out at 1.6M.
+  EXPECT_EQ(phases[2].config[0].capacity, 1'600'000u);
+  // Final phase kept the 900k..1.6M range.
+  EXPECT_EQ(phases[4].config[phases[4].config.size() - 1].capacity,
+            900'000u);
+  // The smallest original disks are gone.
+  EXPECT_FALSE(phases[4].config.contains(0));
+  EXPECT_FALSE(phases[4].config.contains(1));
+  EXPECT_FALSE(phases[4].config.contains(2));
+  EXPECT_FALSE(phases[4].config.contains(3));
+}
+
+TEST(Scenario, EditKinds) {
+  const ClusterConfig base = paper_heterogeneous_base();
+
+  const EditResult add_big =
+      apply_edit(base, EditKind::kAddBiggest, 99, 100'000);
+  EXPECT_EQ(add_big.affected, 99u);
+  EXPECT_EQ(add_big.config[0].capacity, 1'300'000u);
+  EXPECT_EQ(add_big.config.size(), 9u);
+
+  const EditResult add_small =
+      apply_edit(base, EditKind::kAddSmallest, 99, 100'000);
+  EXPECT_EQ(add_small.config[add_small.config.size() - 1].capacity, 400'000u);
+
+  const EditResult rm_big =
+      apply_edit(base, EditKind::kRemoveBiggest, 0, 0);
+  EXPECT_EQ(rm_big.config.size(), 7u);
+  EXPECT_EQ(rm_big.affected, 7u);  // uid of the 1.2M disk
+  EXPECT_FALSE(rm_big.config.contains(7));
+
+  const EditResult rm_small =
+      apply_edit(base, EditKind::kRemoveSmallest, 0, 0);
+  EXPECT_EQ(rm_small.affected, 0u);
+  EXPECT_FALSE(rm_small.config.contains(0));
+}
+
+TEST(Scenario, AddSmallestFloorsAtOriginalCapacity) {
+  const ClusterConfig tiny({{1, 50, ""}, {2, 60, ""}});
+  const EditResult r = apply_edit(tiny, EditKind::kAddSmallest, 9, 100);
+  // 50 - 100 would underflow; capacity stays at the smallest existing.
+  EXPECT_EQ(r.config[r.config.size() - 1].capacity, 50u);
+}
+
+TEST(Scenario, EditKindNames) {
+  EXPECT_EQ(to_string(EditKind::kAddBiggest), "add biggest");
+  EXPECT_EQ(to_string(EditKind::kRemoveSmallest), "remove smallest");
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,80 @@
+#include "src/placement/share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig make_cluster() {
+  return ClusterConfig(
+      {{1, 100, ""}, {2, 200, ""}, {3, 300, ""}, {4, 150, ""}, {5, 250, ""}});
+}
+
+TEST(Share, Deterministic) {
+  const Share s(make_cluster());
+  for (std::uint64_t a = 0; a < 200; ++a) EXPECT_EQ(s.place(a), s.place(a));
+}
+
+TEST(Share, AlwaysReturnsADevice) {
+  // With the default stretch, every point of the circle is covered.
+  const Share s(make_cluster());
+  for (std::uint64_t a = 0; a < 20'000; ++a) {
+    EXPECT_NE(s.place(a), kNoDevice);
+  }
+}
+
+TEST(Share, AverageCoverageTracksStretch) {
+  const Share s(make_cluster(), 8.0);
+  EXPECT_NEAR(s.average_coverage(), 8.0, 0.75);
+}
+
+TEST(Share, ApproximateFairness) {
+  const ClusterConfig config = make_cluster();
+  const Share s(config);
+  constexpr std::uint64_t kBalls = 100'000;
+  std::vector<std::uint64_t> counts(config.size(), 0);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    ++counts[config.index_of(s.place(a)).value()];
+  }
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    expected.push_back(static_cast<double>(kBalls) *
+                       config.relative_capacity(i));
+  }
+  // Share is (1+eps)-fair; the uniform sub-strategy over covering sets
+  // introduces deviation that shrinks with stretch.  Generous bound.
+  EXPECT_LT(max_relative_deviation(counts, expected), 0.15);
+}
+
+TEST(Share, HandlesDominantDevice) {
+  // One device with >1/stretch of the capacity covers the whole circle.
+  const ClusterConfig config({{1, 10'000, ""}, {2, 10, ""}, {3, 10, ""}});
+  const Share s(config, 4.0);
+  std::uint64_t big = 0;
+  constexpr std::uint64_t kBalls = 20'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    if (s.place(a) == 1) ++big;
+  }
+  // The big device owns ~99.8% of capacity; under Share's uniform
+  // sub-strategy it must still receive the overwhelming majority.
+  EXPECT_GT(big, kBalls / 2);
+}
+
+TEST(Share, StretchDefaultGrowsWithN) {
+  std::vector<Device> devices;
+  for (std::uint64_t i = 0; i < 64; ++i) devices.push_back({i, 100, ""});
+  const Share s(ClusterConfig(std::move(devices)));
+  EXPECT_GT(s.stretch(), 3.0 * std::log(64.0));
+}
+
+TEST(Share, RejectsEmptyCluster) {
+  EXPECT_THROW(Share(ClusterConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,83 @@
+#include "src/placement/sieve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig make_cluster() {
+  return ClusterConfig(
+      {{1, 100, ""}, {2, 200, ""}, {3, 300, ""}, {4, 150, ""}, {5, 250, ""}});
+}
+
+TEST(Sieve, Deterministic) {
+  const Sieve s(make_cluster());
+  for (std::uint64_t a = 0; a < 500; ++a) EXPECT_EQ(s.place(a), s.place(a));
+}
+
+TEST(Sieve, ExactFairnessChiSquare) {
+  // Rejection sampling accepts in exact proportion to the weights.
+  const ClusterConfig config = make_cluster();
+  const Sieve s(config);
+  constexpr std::uint64_t kBalls = 150'000;
+  std::vector<std::uint64_t> counts(config.size(), 0);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    ++counts[config.index_of(s.place(a)).value()];
+  }
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    expected.push_back(static_cast<double>(kBalls) *
+                       config.relative_capacity(i));
+  }
+  EXPECT_LT(chi_square(counts, expected),
+            chi_square_critical_999(config.size() - 1));
+}
+
+TEST(Sieve, ExpectedTrialsIsModest) {
+  const Sieve s(make_cluster());
+  // 5 devices in 16 slots (2n rounded up), w_max = 300, total = 1000:
+  // expected trials = slots * w_max / total = 4.8.
+  EXPECT_NEAR(s.expected_trials(), 4.8, 0.01);
+}
+
+TEST(Sieve, LimitedDisruptionOnAdd) {
+  // Adding a device within the same power-of-two slot table only steals the
+  // balls whose trial sequence hits the new slot.
+  ClusterConfig before = make_cluster();
+  ClusterConfig after = before;
+  after.add_device({6, 200, ""});
+  const Sieve sb(before, /*salt=*/1);
+  const Sieve sa(after, /*salt=*/1);
+  std::uint64_t moved = 0;
+  constexpr std::uint64_t kBalls = 30'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    if (sb.place(a) != sa.place(a)) ++moved;
+  }
+  // New share is 200/1200 ~ 17%; allow overhead for earlier-trial captures,
+  // but demand far less than a reshuffle.
+  EXPECT_LT(moved, kBalls / 2);
+  EXPECT_GT(moved, kBalls / 20);
+}
+
+TEST(Sieve, HandlesExtremeSkew) {
+  // w_max dominating: everything lands on the heavy device, lookups still
+  // terminate (acceptance for the heavy device is 1).
+  const ClusterConfig config({{1, 1'000'000, ""}, {2, 1, ""}, {3, 1, ""}});
+  const Sieve s(config);
+  std::uint64_t big = 0;
+  for (std::uint64_t a = 0; a < 5'000; ++a) {
+    if (s.place(a) == 1) ++big;
+  }
+  EXPECT_GT(big, 4'950u);
+}
+
+TEST(Sieve, RejectsEmptyCluster) {
+  EXPECT_THROW(Sieve(ClusterConfig{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

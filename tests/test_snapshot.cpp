@@ -1,0 +1,151 @@
+#include "src/storage/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/storage/erasure/evenodd.hpp"
+#include "src/storage/erasure/rdp.hpp"
+#include "src/util/random.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig pool_config() {
+  return ClusterConfig({{1, 3000, "a"},
+                        {2, 2500, "b"},
+                        {3, 2000, "c"},
+                        {4, 1500, "d"},
+                        {5, 1000, "e"},
+                        {6, 1000, "f"}});
+}
+
+Bytes payload(std::uint64_t block, std::uint64_t salt) {
+  Bytes b(80);
+  Xoshiro256 rng(block * 17 + salt);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng());
+  return b;
+}
+
+TEST(SchemeFactory, RoundTripsEveryScheme) {
+  for (const auto& name :
+       {std::string("mirror(k=3)"), std::string("reed-solomon(4+2)"),
+        std::string("evenodd(p=5)"), std::string("rdp(p=7)")}) {
+    const auto scheme = make_scheme_from_name(name);
+    EXPECT_EQ(scheme->name(), name);
+  }
+  EXPECT_THROW((void)make_scheme_from_name("raid0"), std::invalid_argument);
+  EXPECT_THROW((void)make_scheme_from_name("mirror(k=x)"),
+               std::invalid_argument);
+}
+
+TEST(Snapshot, DiskRoundTrip) {
+  VirtualDisk disk(pool_config(), std::make_shared<ReedSolomonScheme>(3, 2));
+  for (std::uint64_t b = 0; b < 200; ++b) disk.write(b, payload(b, 1));
+
+  std::stringstream stream;
+  Snapshot::save_disk(disk, stream);
+  VirtualDisk restored = Snapshot::load_disk(stream);
+
+  EXPECT_EQ(restored.block_count(), 200u);
+  EXPECT_EQ(restored.scheme().name(), "reed-solomon(3+2)");
+  EXPECT_TRUE(restored.config() == disk.config());
+  for (std::uint64_t b = 0; b < 200; ++b) {
+    EXPECT_EQ(restored.read(b), payload(b, 1));
+  }
+  EXPECT_TRUE(restored.scrub().clean());
+  // The restored disk is fully operational: reshape and rebuild work.
+  restored.add_device({9, 4000, "post-restore"});
+  EXPECT_EQ(restored.read(7), payload(7, 1));
+}
+
+TEST(Snapshot, DegradedStateSurvivesRoundTrip) {
+  VirtualDisk disk(pool_config(), std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 100; ++b) disk.write(b, payload(b, 2));
+  disk.fail_device(2);
+
+  std::stringstream stream;
+  Snapshot::save_disk(disk, stream);
+  VirtualDisk restored = Snapshot::load_disk(stream);
+
+  // Still degraded after restore; rebuild heals it.
+  EXPECT_FALSE(restored.scrub().clean());
+  EXPECT_GT(restored.rebuild(), 0u);
+  for (std::uint64_t b = 0; b < 100; ++b) {
+    EXPECT_EQ(restored.read(b), payload(b, 2));
+  }
+  EXPECT_TRUE(restored.scrub().clean());
+}
+
+TEST(Snapshot, ChecksumsSurviveRoundTrip) {
+  VirtualDisk disk(pool_config(), std::make_shared<MirroringScheme>(3));
+  disk.write(5, payload(5, 3));
+  std::stringstream stream;
+  Snapshot::save_disk(disk, stream);
+  VirtualDisk restored = Snapshot::load_disk(stream);
+  // Corrupt one restored fragment: the restored checksums must catch it.
+  ASSERT_TRUE(restored.corrupt_fragment(5, 0));
+  EXPECT_EQ(restored.read(5), payload(5, 3));
+  EXPECT_EQ(restored.stats().checksum_failures, 1u);
+}
+
+TEST(Snapshot, PoolRoundTrip) {
+  StoragePool pool(pool_config());
+  pool.create_volume("a", std::make_shared<MirroringScheme>(2));
+  pool.create_volume("b", std::make_shared<EvenOddScheme>(3));
+  for (std::uint64_t blk = 0; blk < 120; ++blk) {
+    pool.volume("a").write(blk, payload(blk, 10));
+    pool.volume("b").write(blk, payload(blk, 20));
+  }
+
+  std::stringstream stream;
+  Snapshot::save_pool(pool, stream);
+  StoragePool restored = Snapshot::load_pool(stream);
+
+  EXPECT_EQ(restored.volume_count(), 2u);
+  for (std::uint64_t blk = 0; blk < 120; ++blk) {
+    EXPECT_EQ(restored.volume("a").read(blk), payload(blk, 10));
+    EXPECT_EQ(restored.volume("b").read(blk), payload(blk, 20));
+  }
+  EXPECT_TRUE(restored.volume("a").scrub().clean());
+  EXPECT_TRUE(restored.volume("b").scrub().clean());
+
+  // Volumes still share stores: pool-wide failure degrades both.
+  restored.fail_device(1);
+  EXPECT_GT(restored.rebuild(), 0u);
+  EXPECT_EQ(restored.volume("a").read(3), payload(3, 10));
+  // New volumes get fresh ids (the counter was persisted).
+  VirtualDisk& c =
+      restored.create_volume("c", std::make_shared<MirroringScheme>(2));
+  EXPECT_NE(c.volume_id(), restored.volume("a").volume_id());
+  EXPECT_NE(c.volume_id(), restored.volume("b").volume_id());
+}
+
+TEST(Snapshot, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW((void)Snapshot::load_disk(empty), std::runtime_error);
+  std::stringstream wrong("POOLRDS1xxxxxxxxxxxxxxxx");
+  EXPECT_THROW((void)Snapshot::load_disk(wrong), std::runtime_error);
+
+  // Truncated stream: valid header, missing body.
+  VirtualDisk disk(pool_config(), std::make_shared<MirroringScheme>(2));
+  disk.write(1, payload(1, 1));
+  std::stringstream stream;
+  Snapshot::save_disk(disk, stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)Snapshot::load_disk(truncated), std::runtime_error);
+}
+
+TEST(Snapshot, SaveDuringReshapeRejected) {
+  VirtualDisk disk(pool_config(), std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 50; ++b) disk.write(b, payload(b, 1));
+  ClusterConfig next = disk.config();
+  next.add_device({9, 2500, ""});
+  disk.begin_reshape(next);
+  std::stringstream stream;
+  EXPECT_THROW(Snapshot::save_disk(disk, stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,94 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rds {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32 / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(ChiSquare, PerfectFitIsZero) {
+  const std::vector<std::uint64_t> obs{10, 20, 30};
+  const std::vector<double> exp{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_square(obs, exp), 0.0);
+}
+
+TEST(ChiSquare, KnownValue) {
+  const std::vector<std::uint64_t> obs{12, 8};
+  const std::vector<double> exp{10.0, 10.0};
+  EXPECT_DOUBLE_EQ(chi_square(obs, exp), 0.4 + 0.4);
+}
+
+TEST(ChiSquare, RejectsSizeMismatch) {
+  const std::vector<std::uint64_t> obs{1};
+  const std::vector<double> exp{1.0, 2.0};
+  EXPECT_THROW((void)chi_square(obs, exp), std::invalid_argument);
+}
+
+TEST(ChiSquare, RejectsNonPositiveExpected) {
+  const std::vector<std::uint64_t> obs{1};
+  const std::vector<double> exp{0.0};
+  EXPECT_THROW((void)chi_square(obs, exp), std::invalid_argument);
+}
+
+TEST(ChiSquare, CriticalValueSanity) {
+  // Exact 0.999 quantiles: dof=10 -> 29.59, dof=50 -> 86.66.
+  EXPECT_NEAR(chi_square_critical_999(10), 29.59, 0.8);
+  EXPECT_NEAR(chi_square_critical_999(50), 86.66, 1.5);
+  EXPECT_THROW((void)chi_square_critical_999(0), std::invalid_argument);
+}
+
+TEST(Deviation, MaxRelative) {
+  const std::vector<std::uint64_t> obs{110, 90};
+  const std::vector<double> exp{100.0, 100.0};
+  EXPECT_NEAR(max_relative_deviation(obs, exp), 0.1, 1e-12);
+}
+
+TEST(Deviation, RmsRelative) {
+  const std::vector<std::uint64_t> obs{110, 90};
+  const std::vector<double> exp{100.0, 100.0};
+  EXPECT_NEAR(rms_relative_deviation(obs, exp), 0.1, 1e-12);
+}
+
+TEST(Normalized, SumsToOne) {
+  const std::vector<double> w{1.0, 2.0, 3.0};
+  const std::vector<double> n = normalized(w);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_NEAR(n[0] + n[1] + n[2], 1.0, 1e-12);
+  EXPECT_NEAR(n[2], 0.5, 1e-12);
+}
+
+TEST(Normalized, ZeroTotalGivesEmpty) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_TRUE(normalized(w).empty());
+}
+
+}  // namespace
+}  // namespace rds

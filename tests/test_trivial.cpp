@@ -1,0 +1,92 @@
+#include "src/placement/trivial_replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace rds {
+namespace {
+
+/// The Figure 1 system: one bin with twice the capacity of the other two.
+ClusterConfig figure1_cluster() {
+  return ClusterConfig({{0, 200, "big"}, {1, 100, ""}, {2, 100, ""}});
+}
+
+TEST(TrivialReplication, CopiesDistinctAndDeterministic) {
+  for (const TrivialBackend backend :
+       {TrivialBackend::kExactRace, TrivialBackend::kRingWalk}) {
+    const TrivialReplication s(figure1_cluster(), 2, backend);
+    std::vector<DeviceId> out(2), again(2);
+    for (std::uint64_t a = 0; a < 2000; ++a) {
+      s.place(a, out);
+      EXPECT_NE(out[0], out[1]);
+      s.place(a, again);
+      EXPECT_EQ(out, again);
+    }
+  }
+}
+
+TEST(TrivialReplication, Figure1BigBinMissProbability) {
+  // Lemma 2.4 / Figure 1: P(big bin receives NO copy) = 1/2 * 1/3 = 1/6,
+  // so the big bin's expected load is 5/6 instead of the required 1 --
+  // the trivial strategy wastes 1/6 of the biggest bin.
+  const TrivialReplication s(figure1_cluster(), 2, TrivialBackend::kExactRace);
+  constexpr std::uint64_t kBalls = 300'000;
+  std::uint64_t missed = 0;
+  std::vector<DeviceId> out(2);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    if (out[0] != 0 && out[1] != 0) ++missed;
+  }
+  const double p_miss = static_cast<double>(missed) / kBalls;
+  EXPECT_NEAR(p_miss, 1.0 / 6.0, 0.005);
+}
+
+TEST(TrivialReplication, FirstDrawIsFair) {
+  // Draw 1 is proportional to raw weights: P(first = big) = 1/2.
+  const TrivialReplication s(figure1_cluster(), 2, TrivialBackend::kExactRace);
+  constexpr std::uint64_t kBalls = 100'000;
+  std::uint64_t first_big = 0;
+  std::vector<DeviceId> out(2);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    if (out[0] == 0) ++first_big;
+  }
+  EXPECT_NEAR(static_cast<double>(first_big) / kBalls, 0.5, 0.01);
+}
+
+TEST(TrivialReplication, RingWalkShowsSameCapacityLoss) {
+  // The practical ring implementation exhibits the same qualitative miss
+  // probability (approximately, through the vnode discretization).
+  const TrivialReplication s(figure1_cluster(), 2, TrivialBackend::kRingWalk);
+  constexpr std::uint64_t kBalls = 100'000;
+  std::uint64_t missed = 0;
+  std::vector<DeviceId> out(2);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    s.place(a, out);
+    if (out[0] != 0 && out[1] != 0) ++missed;
+  }
+  EXPECT_NEAR(static_cast<double>(missed) / kBalls, 1.0 / 6.0, 0.03);
+}
+
+TEST(TrivialReplication, KEqualsNUsesEveryDevice) {
+  const TrivialReplication s(figure1_cluster(), 3);
+  std::vector<DeviceId> out(3);
+  for (std::uint64_t a = 0; a < 500; ++a) {
+    s.place(a, out);
+    std::vector<DeviceId> sorted = out;
+    std::ranges::sort(sorted);
+    EXPECT_EQ(sorted, (std::vector<DeviceId>{0, 1, 2}));
+  }
+}
+
+TEST(TrivialReplication, Validation) {
+  EXPECT_THROW(TrivialReplication(figure1_cluster(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(TrivialReplication(figure1_cluster(), 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rds

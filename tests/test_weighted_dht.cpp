@@ -1,0 +1,106 @@
+#include "src/placement/weighted_dht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace rds {
+namespace {
+
+ClusterConfig make_cluster() {
+  return ClusterConfig({{1, 100, ""}, {2, 200, ""}, {3, 300, ""}, {4, 400, ""}});
+}
+
+TEST(WeightedDht, Deterministic) {
+  const WeightedDht lin(make_cluster(), DhtDistance::kLinear);
+  const WeightedDht log(make_cluster(), DhtDistance::kLogarithmic);
+  for (std::uint64_t a = 0; a < 200; ++a) {
+    EXPECT_EQ(lin.place(a), lin.place(a));
+    EXPECT_EQ(log.place(a), log.place(a));
+  }
+}
+
+TEST(WeightedDht, LogarithmicApproximateFairness) {
+  // With several points per device the concentration is tight enough for a
+  // 25% relative-deviation bound at 4x weight skew (the fluctuation for a
+  // fixed ring layout is ~1/sqrt(points), like consistent hashing).
+  const ClusterConfig config = make_cluster();
+  const WeightedDht s(config, DhtDistance::kLogarithmic,
+                      /*points_per_device=*/256);
+  constexpr std::uint64_t kBalls = 80'000;
+  std::vector<std::uint64_t> counts(config.size(), 0);
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    ++counts[config.index_of(s.place(a)).value()];
+  }
+  std::vector<double> expected;
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    expected.push_back(static_cast<double>(kBalls) *
+                       config.relative_capacity(i));
+  }
+  EXPECT_LT(max_relative_deviation(counts, expected), 0.25);
+}
+
+TEST(WeightedDht, LinearMethodIsBiasedLogarithmicIsNot) {
+  // With a single point per device the linear method systematically
+  // OVER-serves the heaviest bin (for w=1000 vs eight bins of 100 its
+  // expected share is ~0.68 instead of the fair 0.556); the logarithmic
+  // transform makes the race exponential and the expected share exact.
+  // Averaged over many ring layouts (salts) to measure the expectation.
+  std::vector<Device> devices{{1, 1000, ""}};
+  for (DeviceId u = 2; u <= 9; ++u) devices.push_back({u, 100, ""});
+  const ClusterConfig config(std::move(devices));
+
+  std::uint64_t lin_big = 0, log_big = 0, total = 0;
+  for (std::uint64_t salt = 0; salt < 150; ++salt) {
+    const WeightedDht lin(config, DhtDistance::kLinear, 1, salt);
+    const WeightedDht log(config, DhtDistance::kLogarithmic, 1, salt);
+    for (std::uint64_t a = 0; a < 600; ++a) {
+      if (lin.place(a) == 1) ++lin_big;
+      if (log.place(a) == 1) ++log_big;
+      ++total;
+    }
+  }
+  const double fair = 1000.0 / 1800.0;
+  const double lin_share = static_cast<double>(lin_big) / total;
+  const double log_share = static_cast<double>(log_big) / total;
+  EXPECT_NEAR(log_share, fair, 0.04);
+  EXPECT_GT(lin_share, fair + 0.05);  // the documented bias (~0.68)
+}
+
+TEST(WeightedDht, LimitedDisruptionOnAdd) {
+  ClusterConfig before = make_cluster();
+  ClusterConfig after = before;
+  after.add_device({5, 250, ""});
+  const WeightedDht sb(before, DhtDistance::kLogarithmic, 16, /*salt=*/3);
+  const WeightedDht sa(after, DhtDistance::kLogarithmic, 16, /*salt=*/3);
+  std::uint64_t moved = 0;
+  constexpr std::uint64_t kBalls = 20'000;
+  for (std::uint64_t a = 0; a < kBalls; ++a) {
+    const DeviceId db = sb.place(a);
+    const DeviceId da = sa.place(a);
+    if (db != da) {
+      ++moved;
+      EXPECT_EQ(da, 5u) << "ball moved between two old devices";
+    }
+  }
+  // New share = 250/1250 = 20%.
+  EXPECT_NEAR(static_cast<double>(moved), 0.2 * kBalls, 0.08 * kBalls);
+}
+
+TEST(WeightedDht, Validation) {
+  EXPECT_THROW(WeightedDht(ClusterConfig{}), std::invalid_argument);
+  EXPECT_THROW(WeightedDht(make_cluster(), DhtDistance::kLinear, 0),
+               std::invalid_argument);
+}
+
+TEST(WeightedDht, Names) {
+  EXPECT_EQ(WeightedDht(make_cluster(), DhtDistance::kLinear).name(),
+            "weighted-dht(linear)");
+  EXPECT_EQ(WeightedDht(make_cluster(), DhtDistance::kLogarithmic).name(),
+            "weighted-dht(logarithmic)");
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,89 @@
+#include "src/sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace rds {
+namespace {
+
+TEST(Workload, SequentialAddresses) {
+  const auto addrs = sequential_addresses(5, 100);
+  EXPECT_EQ(addrs, (std::vector<std::uint64_t>{100, 101, 102, 103, 104}));
+  EXPECT_TRUE(sequential_addresses(0).empty());
+}
+
+TEST(Workload, RandomAddressesAreDistinct) {
+  Xoshiro256 rng(5);
+  const auto addrs = random_addresses(10'000, rng);
+  EXPECT_EQ(addrs.size(), 10'000u);
+  const std::unordered_set<std::uint64_t> set(addrs.begin(), addrs.end());
+  EXPECT_EQ(set.size(), addrs.size());
+}
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, SamplesInRange) {
+  const ZipfGenerator z(100, 0.99);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_LT(z.sample(rng), 100u);
+  }
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const ZipfGenerator z(10, 0.0);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / 10, 5 * std::sqrt(kN / 10.0));
+  }
+}
+
+TEST(Zipf, FrequenciesFollowPowerLaw) {
+  const double s = 1.0;
+  const ZipfGenerator z(1000, s);
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> counts(1000, 0);
+  constexpr int kN = 400'000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+
+  // Harmonic normalization: P(item r) = (1/(r+1)^s) / H_n.
+  double h = 0.0;
+  for (int r = 1; r <= 1000; ++r) h += 1.0 / std::pow(r, s);
+  for (const int r : {1, 2, 5, 10, 50}) {
+    const double expected = kN / (std::pow(r, s) * h);
+    EXPECT_NEAR(static_cast<double>(counts[r - 1]), expected,
+                0.1 * expected + 5 * std::sqrt(expected))
+        << "rank " << r;
+  }
+  // Monotone head: item 0 is sampled most.
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+}
+
+TEST(Zipf, SkewCloseToOneIsStable) {
+  // s = 1 is the harmonic singularity of the naive formula; the
+  // rejection-inversion implementation must stay finite and correct.
+  const ZipfGenerator z(100, 1.0);
+  Xoshiro256 rng(23);
+  std::uint64_t head = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.sample(rng) == 0) ++head;
+  }
+  double h = 0.0;
+  for (int r = 1; r <= 100; ++r) h += 1.0 / r;
+  EXPECT_NEAR(static_cast<double>(head) / kN, 1.0 / h, 0.02);
+}
+
+}  // namespace
+}  // namespace rds

@@ -1,0 +1,315 @@
+// rds_cli -- command-line driver for the Redundant Share library.
+//
+//   rds_cli analyze  --caps 500,600,700 --k 2
+//       Capacity feasibility (Lemma 2.1), adjusted weights (Algorithm 1)
+//       and the maximum ball count (Lemma 2.2).
+//
+//   rds_cli place    --caps 500,600,700 --k 2 --address 42 [--count 10]
+//       The device uids storing copies 0..k-1 of each ball.  Uids are the
+//       0-based positions in the --caps list.
+//
+//   rds_cli fairness --caps 500,600,700 --k 2 [--balls 100000]
+//       Materializes a placement and prints the per-device fill report.
+//
+//   rds_cli migrate  --caps 500,600,700 --to-caps 500,600,700,800 --k 2
+//                    [--balls 100000]
+//       Movement analysis between two configurations: replaced copies,
+//       theoretical minimum, competitive ratio.
+//
+//   rds_cli loss     --caps 500,600,700 --k 2 --failed 0,1 [--need 1]
+//       Exact probability that a block becomes unreadable when the listed
+//       devices fail simultaneously (--need = fragments required to
+//       reconstruct; 1 = mirroring).
+//
+//   rds_cli simulate --caps 500,600,700 --script ops.txt
+//                    [--scheme mirror:2|rs:4+2|evenodd:5|rdp:5]
+//       Runs an operation trace (see src/sim/op_trace.hpp for the command
+//       language) against a virtual disk built on the pool.
+//
+// Devices keep their uid (= index in the ORIGINAL --caps list) across
+// --to-caps, so growing a pool means appending capacities and shrinking it
+// means passing 0 for retired devices.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "src/core/capacity.hpp"
+#include "src/core/loss_analysis.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/sim/op_trace.hpp"
+#include "src/storage/erasure/evenodd.hpp"
+#include "src/storage/erasure/rdp.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/fairness_report.hpp"
+#include "src/sim/movement.hpp"
+
+namespace {
+
+using namespace rds;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr
+      << "usage: rds_cli <analyze|place|fairness|migrate> [options]\n"
+      << "  --caps a,b,c      device capacities (uid = position)\n"
+      << "  --to-caps a,b,c   target capacities for `migrate` (0 = retired)\n"
+      << "  --k N             replication degree (default 2)\n"
+      << "  --address N       first ball address for `place` (default 0)\n"
+      << "  --count N         number of balls for `place` (default 1)\n"
+      << "  --balls N         sample size for fairness/migrate (default 100000)\n"
+      << "  --failed a,b      device uids assumed failed, for `loss`\n"
+      << "  --need N          fragments needed to reconstruct (default 1)\n"
+      << "  --script FILE     operation trace for `simulate`\n"
+      << "  --scheme S        redundancy for `simulate`: mirror:K, rs:D+P,\n"
+      << "                    evenodd:P, rdp:P (default mirror:2)\n";
+  std::exit(2);
+}
+
+std::vector<std::uint64_t> parse_caps(const std::string& arg) {
+  std::vector<std::uint64_t> caps;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      caps.push_back(std::stoull(item));
+    } catch (const std::exception&) {
+      usage("bad capacity: " + item);
+    }
+  }
+  if (caps.empty()) usage("empty capacity list");
+  return caps;
+}
+
+ClusterConfig config_from(const std::vector<std::uint64_t>& caps) {
+  std::vector<Device> devices;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (caps[i] == 0) continue;  // retired device
+    devices.push_back({i, caps[i], "disk-" + std::to_string(i)});
+  }
+  if (devices.empty()) usage("no devices with positive capacity");
+  return ClusterConfig(std::move(devices));
+}
+
+struct Args {
+  std::string command;
+  std::vector<std::uint64_t> caps;
+  std::vector<std::uint64_t> to_caps;
+  std::vector<std::uint64_t> failed;
+  std::string script;
+  std::string scheme = "mirror:2";
+  unsigned k = 2;
+  unsigned need = 1;
+  std::uint64_t address = 0;
+  std::uint64_t count = 1;
+  std::uint64_t balls = 100'000;
+};
+
+std::shared_ptr<RedundancyScheme> parse_scheme(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) usage("bad --scheme: " + spec);
+  const std::string kind = spec.substr(0, colon);
+  const std::string param = spec.substr(colon + 1);
+  try {
+    if (kind == "mirror") {
+      return std::make_shared<MirroringScheme>(
+          static_cast<unsigned>(std::stoul(param)));
+    }
+    if (kind == "rs") {
+      const std::size_t plus = param.find('+');
+      if (plus == std::string::npos) usage("rs scheme needs D+P");
+      return std::make_shared<ReedSolomonScheme>(
+          static_cast<unsigned>(std::stoul(param.substr(0, plus))),
+          static_cast<unsigned>(std::stoul(param.substr(plus + 1))));
+    }
+    if (kind == "evenodd") {
+      return std::make_shared<EvenOddScheme>(
+          static_cast<unsigned>(std::stoul(param)));
+    }
+    if (kind == "rdp") {
+      return std::make_shared<RdpScheme>(
+          static_cast<unsigned>(std::stoul(param)));
+    }
+  } catch (const std::invalid_argument& e) {
+    usage(std::string("bad --scheme parameter: ") + e.what());
+  }
+  usage("unknown scheme kind: " + kind);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Args args;
+  args.command = argv[1];
+  std::map<std::string, std::string> opts;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    opts[argv[i]] = argv[i + 1];
+  }
+  if (argc >= 2 && (argc - 2) % 2 != 0) usage("dangling option");
+  const auto get = [&](const std::string& key) -> std::string {
+    const auto it = opts.find(key);
+    return it == opts.end() ? "" : it->second;
+  };
+  if (const std::string v = get("--caps"); !v.empty()) {
+    args.caps = parse_caps(v);
+  }
+  if (const std::string v = get("--to-caps"); !v.empty()) {
+    args.to_caps = parse_caps(v);
+  }
+  if (const std::string v = get("--failed"); !v.empty()) {
+    args.failed = parse_caps(v);
+  }
+  if (const std::string v = get("--script"); !v.empty()) args.script = v;
+  if (const std::string v = get("--scheme"); !v.empty()) args.scheme = v;
+  try {
+    if (const std::string v = get("--k"); !v.empty()) {
+      args.k = static_cast<unsigned>(std::stoul(v));
+    }
+    if (const std::string v = get("--need"); !v.empty()) {
+      args.need = static_cast<unsigned>(std::stoul(v));
+    }
+    if (const std::string v = get("--address"); !v.empty()) {
+      args.address = std::stoull(v);
+    }
+    if (const std::string v = get("--count"); !v.empty()) {
+      args.count = std::stoull(v);
+    }
+    if (const std::string v = get("--balls"); !v.empty()) {
+      args.balls = std::stoull(v);
+    }
+  } catch (const std::exception&) {
+    usage("bad numeric option");
+  }
+  if (args.caps.empty()) usage("--caps is required");
+  return args;
+}
+
+int cmd_analyze(const Args& args) {
+  std::vector<double> caps;
+  for (const std::uint64_t c : args.caps) {
+    if (c > 0) caps.push_back(static_cast<double>(c));
+  }
+  std::ranges::sort(caps, std::greater<>());
+  const CapacityAnalysis a = analyze_capacity(caps, args.k);
+  std::cout << "devices:            " << caps.size() << '\n'
+            << "replication k:      " << args.k << '\n'
+            << "raw capacity B:     " << a.raw_capacity << '\n'
+            << "feasible (L2.1):    "
+            << (a.feasible_unadjusted ? "yes" : "no") << '\n'
+            << "usable capacity B': " << a.usable_capacity << '\n'
+            << "max balls (L2.2):   " << a.max_balls << '\n'
+            << "adjusted weights:  ";
+  for (const double w : a.adjusted) std::cout << ' ' << w;
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  const ClusterConfig config = config_from(args.caps);
+  const RedundantShare strategy(config, args.k);
+  for (std::uint64_t i = 0; i < args.count; ++i) {
+    const std::uint64_t address = args.address + i;
+    const std::vector<DeviceId> copies = strategy.place(address);
+    std::cout << "ball " << address << " ->";
+    for (unsigned j = 0; j < args.k; ++j) {
+      std::cout << " copy" << j << "=disk-" << copies[j];
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_fairness(const Args& args) {
+  const ClusterConfig config = config_from(args.caps);
+  const RedundantShare strategy(config, args.k);
+  const BlockMap map(strategy, args.balls);
+  const FairnessReport report =
+      fairness_report(config, strategy.adjusted_capacities(), map);
+  report.print(std::cout, std::to_string(args.balls) + " balls, k = " +
+                              std::to_string(args.k));
+  return 0;
+}
+
+int cmd_migrate(const Args& args) {
+  if (args.to_caps.empty()) usage("migrate requires --to-caps");
+  const ClusterConfig before = config_from(args.caps);
+  const ClusterConfig after = config_from(args.to_caps);
+  const RedundantShare sb(before, args.k);
+  const RedundantShare sa(after, args.k);
+  const MovementReport r =
+      diff_placements(BlockMap(sb, args.balls), BlockMap(sa, args.balls));
+  std::cout << "balls:                " << args.balls << '\n'
+            << "total copies:         " << r.total_copies << '\n'
+            << "replaced (mirroring): " << r.moved_set << "  ("
+            << 100.0 * r.moved_set_fraction() << "%)\n"
+            << "replaced (erasure):   " << r.moved_indexed << '\n'
+            << "theoretical minimum:  " << r.optimal_moves << '\n'
+            << "competitive ratio:    " << r.competitive_set() << '\n';
+  return 0;
+}
+
+int cmd_loss(const Args& args) {
+  if (args.failed.empty()) usage("loss requires --failed");
+  const ClusterConfig config = config_from(args.caps);
+  const RedundantShare strategy(config, args.k);
+  const std::vector<DeviceId> failed(args.failed.begin(), args.failed.end());
+  const std::vector<double> dist =
+      copies_in_set_distribution(strategy, failed);
+  std::cout << "copies-in-failed-set distribution:\n";
+  for (std::size_t c = 0; c < dist.size(); ++c) {
+    std::cout << "  P(" << c << " of " << args.k << " copies lost) = "
+              << dist[c] << '\n';
+  }
+  std::cout << "loss probability (need " << args.need
+            << " surviving fragment" << (args.need == 1 ? "" : "s")
+            << "): "
+            << exact_loss_probability(strategy, failed, args.need) << '\n';
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.script.empty()) usage("simulate requires --script");
+  std::ifstream script(args.script);
+  if (!script) {
+    std::cerr << "error: cannot open " << args.script << '\n';
+    return 1;
+  }
+  TraceRunner runner(
+      VirtualDisk(config_from(args.caps), parse_scheme(args.scheme)));
+  const TraceStats stats = runner.run(script);
+  const VirtualDisk::Stats& disk = runner.disk().stats();
+  std::cout << "commands executed:   " << stats.commands << '\n'
+            << "blocks written:      " << stats.blocks_written << '\n'
+            << "blocks verified:     " << stats.blocks_verified << '\n'
+            << "blocks trimmed:      " << stats.blocks_trimmed << '\n'
+            << "topology changes:    " << stats.topology_changes << '\n'
+            << "fragments moved:     " << disk.fragments_moved << '\n'
+            << "fragments rebuilt:   " << disk.fragments_rebuilt << '\n'
+            << "fragments repaired:  " << disk.fragments_repaired << '\n'
+            << "checksum failures:   " << disk.checksum_failures << '\n'
+            << "bytes moved:         " << disk.bytes_moved << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "analyze") return cmd_analyze(args);
+    if (args.command == "place") return cmd_place(args);
+    if (args.command == "fairness") return cmd_fairness(args);
+    if (args.command == "migrate") return cmd_migrate(args);
+    if (args.command == "loss") return cmd_loss(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  usage("unknown command: " + args.command);
+}
