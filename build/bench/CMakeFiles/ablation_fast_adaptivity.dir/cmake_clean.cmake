@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fast_adaptivity.dir/ablation_fast_adaptivity.cpp.o"
+  "CMakeFiles/ablation_fast_adaptivity.dir/ablation_fast_adaptivity.cpp.o.d"
+  "ablation_fast_adaptivity"
+  "ablation_fast_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fast_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

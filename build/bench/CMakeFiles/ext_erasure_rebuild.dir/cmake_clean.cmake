@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_erasure_rebuild.dir/ext_erasure_rebuild.cpp.o"
+  "CMakeFiles/ext_erasure_rebuild.dir/ext_erasure_rebuild.cpp.o.d"
+  "ext_erasure_rebuild"
+  "ext_erasure_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_erasure_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

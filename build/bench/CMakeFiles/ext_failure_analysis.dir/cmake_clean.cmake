@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_failure_analysis.dir/ext_failure_analysis.cpp.o"
+  "CMakeFiles/ext_failure_analysis.dir/ext_failure_analysis.cpp.o.d"
+  "ext_failure_analysis"
+  "ext_failure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_failure_domains.dir/ext_failure_domains.cpp.o"
+  "CMakeFiles/ext_failure_domains.dir/ext_failure_domains.cpp.o.d"
+  "ext_failure_domains"
+  "ext_failure_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failure_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

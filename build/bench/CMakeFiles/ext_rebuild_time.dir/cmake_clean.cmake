@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rebuild_time.dir/ext_rebuild_time.cpp.o"
+  "CMakeFiles/ext_rebuild_time.dir/ext_rebuild_time.cpp.o.d"
+  "ext_rebuild_time"
+  "ext_rebuild_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rebuild_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_request_latency.dir/ext_request_latency.cpp.o"
+  "CMakeFiles/ext_request_latency.dir/ext_request_latency.cpp.o.d"
+  "ext_request_latency"
+  "ext_request_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_request_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_trivial_waste.dir/fig1_trivial_waste.cpp.o"
+  "CMakeFiles/fig1_trivial_waste.dir/fig1_trivial_waste.cpp.o.d"
+  "fig1_trivial_waste"
+  "fig1_trivial_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trivial_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_fairness_k2.
+# This may be replaced when dependencies are built.

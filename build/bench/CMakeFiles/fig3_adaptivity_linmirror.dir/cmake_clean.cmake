@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_adaptivity_linmirror.dir/fig3_adaptivity_linmirror.cpp.o"
+  "CMakeFiles/fig3_adaptivity_linmirror.dir/fig3_adaptivity_linmirror.cpp.o.d"
+  "fig3_adaptivity_linmirror"
+  "fig3_adaptivity_linmirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adaptivity_linmirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fairness_k4.dir/fig4_fairness_k4.cpp.o"
+  "CMakeFiles/fig4_fairness_k4.dir/fig4_fairness_k4.cpp.o.d"
+  "fig4_fairness_k4"
+  "fig4_fairness_k4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fairness_k4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

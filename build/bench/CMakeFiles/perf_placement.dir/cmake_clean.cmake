@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_placement.dir/perf_placement.cpp.o"
+  "CMakeFiles/perf_placement.dir/perf_placement.cpp.o.d"
+  "perf_placement"
+  "perf_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

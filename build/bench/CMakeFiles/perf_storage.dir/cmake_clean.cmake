@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_storage.dir/perf_storage.cpp.o"
+  "CMakeFiles/perf_storage.dir/perf_storage.cpp.o.d"
+  "perf_storage"
+  "perf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

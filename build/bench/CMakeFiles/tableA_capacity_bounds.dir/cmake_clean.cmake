@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableA_capacity_bounds.dir/tableA_capacity_bounds.cpp.o"
+  "CMakeFiles/tableA_capacity_bounds.dir/tableA_capacity_bounds.cpp.o.d"
+  "tableA_capacity_bounds"
+  "tableA_capacity_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableA_capacity_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

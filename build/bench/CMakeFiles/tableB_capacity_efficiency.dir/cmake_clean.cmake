@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableB_capacity_efficiency.dir/tableB_capacity_efficiency.cpp.o"
+  "CMakeFiles/tableB_capacity_efficiency.dir/tableB_capacity_efficiency.cpp.o.d"
+  "tableB_capacity_efficiency"
+  "tableB_capacity_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableB_capacity_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableC_substrates.dir/tableC_substrates.cpp.o"
+  "CMakeFiles/tableC_substrates.dir/tableC_substrates.cpp.o.d"
+  "tableC_substrates"
+  "tableC_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableC_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableD_competitiveness.dir/tableD_competitiveness.cpp.o"
+  "CMakeFiles/tableD_competitiveness.dir/tableD_competitiveness.cpp.o.d"
+  "tableD_competitiveness"
+  "tableD_competitiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableD_competitiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

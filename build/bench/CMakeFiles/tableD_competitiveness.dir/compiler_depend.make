@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tableD_competitiveness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasure_recovery.dir/erasure_recovery.cpp.o"
+  "CMakeFiles/erasure_recovery.dir/erasure_recovery.cpp.o.d"
+  "erasure_recovery"
+  "erasure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_domains.dir/failure_domains.cpp.o"
+  "CMakeFiles/failure_domains.dir/failure_domains.cpp.o.d"
+  "failure_domains"
+  "failure_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_datacenter.dir/heterogeneous_datacenter.cpp.o"
+  "CMakeFiles/heterogeneous_datacenter.dir/heterogeneous_datacenter.cpp.o.d"
+  "heterogeneous_datacenter"
+  "heterogeneous_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_pool.dir/multi_tenant_pool.cpp.o"
+  "CMakeFiles/multi_tenant_pool.dir/multi_tenant_pool.cpp.o.d"
+  "multi_tenant_pool"
+  "multi_tenant_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_config.cpp" "src/CMakeFiles/rds.dir/cluster/cluster_config.cpp.o" "gcc" "src/CMakeFiles/rds.dir/cluster/cluster_config.cpp.o.d"
+  "/root/repo/src/cluster/device.cpp" "src/CMakeFiles/rds.dir/cluster/device.cpp.o" "gcc" "src/CMakeFiles/rds.dir/cluster/device.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/rds.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/CMakeFiles/rds.dir/core/capacity.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/capacity.cpp.o.d"
+  "/root/repo/src/core/fast_redundant_share.cpp" "src/CMakeFiles/rds.dir/core/fast_redundant_share.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/fast_redundant_share.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/CMakeFiles/rds.dir/core/hierarchical.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/hierarchical.cpp.o.d"
+  "/root/repo/src/core/loss_analysis.cpp" "src/CMakeFiles/rds.dir/core/loss_analysis.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/loss_analysis.cpp.o.d"
+  "/root/repo/src/core/precomputed_redundant_share.cpp" "src/CMakeFiles/rds.dir/core/precomputed_redundant_share.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/precomputed_redundant_share.cpp.o.d"
+  "/root/repo/src/core/redundant_share.cpp" "src/CMakeFiles/rds.dir/core/redundant_share.cpp.o" "gcc" "src/CMakeFiles/rds.dir/core/redundant_share.cpp.o.d"
+  "/root/repo/src/placement/consistent_hashing.cpp" "src/CMakeFiles/rds.dir/placement/consistent_hashing.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/consistent_hashing.cpp.o.d"
+  "/root/repo/src/placement/crush.cpp" "src/CMakeFiles/rds.dir/placement/crush.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/crush.cpp.o.d"
+  "/root/repo/src/placement/jump_hash.cpp" "src/CMakeFiles/rds.dir/placement/jump_hash.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/jump_hash.cpp.o.d"
+  "/root/repo/src/placement/rendezvous.cpp" "src/CMakeFiles/rds.dir/placement/rendezvous.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/rendezvous.cpp.o.d"
+  "/root/repo/src/placement/rush.cpp" "src/CMakeFiles/rds.dir/placement/rush.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/rush.cpp.o.d"
+  "/root/repo/src/placement/share.cpp" "src/CMakeFiles/rds.dir/placement/share.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/share.cpp.o.d"
+  "/root/repo/src/placement/sieve.cpp" "src/CMakeFiles/rds.dir/placement/sieve.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/sieve.cpp.o.d"
+  "/root/repo/src/placement/static_placement.cpp" "src/CMakeFiles/rds.dir/placement/static_placement.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/static_placement.cpp.o.d"
+  "/root/repo/src/placement/strategy.cpp" "src/CMakeFiles/rds.dir/placement/strategy.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/strategy.cpp.o.d"
+  "/root/repo/src/placement/trivial_replication.cpp" "src/CMakeFiles/rds.dir/placement/trivial_replication.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/trivial_replication.cpp.o.d"
+  "/root/repo/src/placement/weighted_dht.cpp" "src/CMakeFiles/rds.dir/placement/weighted_dht.cpp.o" "gcc" "src/CMakeFiles/rds.dir/placement/weighted_dht.cpp.o.d"
+  "/root/repo/src/sim/block_map.cpp" "src/CMakeFiles/rds.dir/sim/block_map.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/block_map.cpp.o.d"
+  "/root/repo/src/sim/disk_sim.cpp" "src/CMakeFiles/rds.dir/sim/disk_sim.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/disk_sim.cpp.o.d"
+  "/root/repo/src/sim/fairness_report.cpp" "src/CMakeFiles/rds.dir/sim/fairness_report.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/fairness_report.cpp.o.d"
+  "/root/repo/src/sim/movement.cpp" "src/CMakeFiles/rds.dir/sim/movement.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/movement.cpp.o.d"
+  "/root/repo/src/sim/op_trace.cpp" "src/CMakeFiles/rds.dir/sim/op_trace.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/op_trace.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/rds.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/rds.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/rds.dir/sim/workload.cpp.o.d"
+  "/root/repo/src/storage/device_store.cpp" "src/CMakeFiles/rds.dir/storage/device_store.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/device_store.cpp.o.d"
+  "/root/repo/src/storage/erasure/evenodd.cpp" "src/CMakeFiles/rds.dir/storage/erasure/evenodd.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/erasure/evenodd.cpp.o.d"
+  "/root/repo/src/storage/erasure/gf256.cpp" "src/CMakeFiles/rds.dir/storage/erasure/gf256.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/erasure/gf256.cpp.o.d"
+  "/root/repo/src/storage/erasure/parity.cpp" "src/CMakeFiles/rds.dir/storage/erasure/parity.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/erasure/parity.cpp.o.d"
+  "/root/repo/src/storage/erasure/rdp.cpp" "src/CMakeFiles/rds.dir/storage/erasure/rdp.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/erasure/rdp.cpp.o.d"
+  "/root/repo/src/storage/erasure/reed_solomon.cpp" "src/CMakeFiles/rds.dir/storage/erasure/reed_solomon.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/erasure/reed_solomon.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "src/CMakeFiles/rds.dir/storage/file_store.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/file_store.cpp.o.d"
+  "/root/repo/src/storage/migration.cpp" "src/CMakeFiles/rds.dir/storage/migration.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/migration.cpp.o.d"
+  "/root/repo/src/storage/redundancy_scheme.cpp" "src/CMakeFiles/rds.dir/storage/redundancy_scheme.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/redundancy_scheme.cpp.o.d"
+  "/root/repo/src/storage/snapshot.cpp" "src/CMakeFiles/rds.dir/storage/snapshot.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/snapshot.cpp.o.d"
+  "/root/repo/src/storage/storage_pool.cpp" "src/CMakeFiles/rds.dir/storage/storage_pool.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/storage_pool.cpp.o.d"
+  "/root/repo/src/storage/virtual_disk.cpp" "src/CMakeFiles/rds.dir/storage/virtual_disk.cpp.o" "gcc" "src/CMakeFiles/rds.dir/storage/virtual_disk.cpp.o.d"
+  "/root/repo/src/util/alias_table.cpp" "src/CMakeFiles/rds.dir/util/alias_table.cpp.o" "gcc" "src/CMakeFiles/rds.dir/util/alias_table.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/rds.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/rds.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/rds.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/rds.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/rds.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/rds.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rds.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rds.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

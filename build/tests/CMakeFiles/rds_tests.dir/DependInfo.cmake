@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_table.cpp" "tests/CMakeFiles/rds_tests.dir/test_alias_table.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_alias_table.cpp.o.d"
+  "/root/repo/tests/test_block_map.cpp" "tests/CMakeFiles/rds_tests.dir/test_block_map.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_block_map.cpp.o.d"
+  "/root/repo/tests/test_capacity.cpp" "tests/CMakeFiles/rds_tests.dir/test_capacity.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_capacity.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/rds_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_concurrency.cpp" "tests/CMakeFiles/rds_tests.dir/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_concurrency.cpp.o.d"
+  "/root/repo/tests/test_consistent_hashing.cpp" "tests/CMakeFiles/rds_tests.dir/test_consistent_hashing.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_consistent_hashing.cpp.o.d"
+  "/root/repo/tests/test_corruption.cpp" "tests/CMakeFiles/rds_tests.dir/test_corruption.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_corruption.cpp.o.d"
+  "/root/repo/tests/test_crush.cpp" "tests/CMakeFiles/rds_tests.dir/test_crush.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_crush.cpp.o.d"
+  "/root/repo/tests/test_device_store.cpp" "tests/CMakeFiles/rds_tests.dir/test_device_store.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_device_store.cpp.o.d"
+  "/root/repo/tests/test_disk_sim.cpp" "tests/CMakeFiles/rds_tests.dir/test_disk_sim.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_disk_sim.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/rds_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_evenodd.cpp" "tests/CMakeFiles/rds_tests.dir/test_evenodd.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_evenodd.cpp.o.d"
+  "/root/repo/tests/test_exhaustive.cpp" "tests/CMakeFiles/rds_tests.dir/test_exhaustive.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_exhaustive.cpp.o.d"
+  "/root/repo/tests/test_fairness_report.cpp" "tests/CMakeFiles/rds_tests.dir/test_fairness_report.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_fairness_report.cpp.o.d"
+  "/root/repo/tests/test_fast_redundant_share.cpp" "tests/CMakeFiles/rds_tests.dir/test_fast_redundant_share.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_fast_redundant_share.cpp.o.d"
+  "/root/repo/tests/test_file_store.cpp" "tests/CMakeFiles/rds_tests.dir/test_file_store.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_file_store.cpp.o.d"
+  "/root/repo/tests/test_gf256.cpp" "tests/CMakeFiles/rds_tests.dir/test_gf256.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_gf256.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/rds_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_hash.cpp" "tests/CMakeFiles/rds_tests.dir/test_hash.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_hash.cpp.o.d"
+  "/root/repo/tests/test_hierarchical.cpp" "tests/CMakeFiles/rds_tests.dir/test_hierarchical.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_hierarchical.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/rds_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rds_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_jump_hash.cpp" "tests/CMakeFiles/rds_tests.dir/test_jump_hash.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_jump_hash.cpp.o.d"
+  "/root/repo/tests/test_loss_analysis.cpp" "tests/CMakeFiles/rds_tests.dir/test_loss_analysis.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_loss_analysis.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/rds_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_movement.cpp" "tests/CMakeFiles/rds_tests.dir/test_movement.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_movement.cpp.o.d"
+  "/root/repo/tests/test_op_trace.cpp" "tests/CMakeFiles/rds_tests.dir/test_op_trace.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_op_trace.cpp.o.d"
+  "/root/repo/tests/test_parity.cpp" "tests/CMakeFiles/rds_tests.dir/test_parity.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_parity.cpp.o.d"
+  "/root/repo/tests/test_precomputed_rs.cpp" "tests/CMakeFiles/rds_tests.dir/test_precomputed_rs.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_precomputed_rs.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/rds_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/rds_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_rdp.cpp" "tests/CMakeFiles/rds_tests.dir/test_rdp.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_rdp.cpp.o.d"
+  "/root/repo/tests/test_redundancy_scheme.cpp" "tests/CMakeFiles/rds_tests.dir/test_redundancy_scheme.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_redundancy_scheme.cpp.o.d"
+  "/root/repo/tests/test_redundant_share.cpp" "tests/CMakeFiles/rds_tests.dir/test_redundant_share.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_redundant_share.cpp.o.d"
+  "/root/repo/tests/test_reed_solomon.cpp" "tests/CMakeFiles/rds_tests.dir/test_reed_solomon.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_reed_solomon.cpp.o.d"
+  "/root/repo/tests/test_rendezvous.cpp" "tests/CMakeFiles/rds_tests.dir/test_rendezvous.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_rendezvous.cpp.o.d"
+  "/root/repo/tests/test_reshape.cpp" "tests/CMakeFiles/rds_tests.dir/test_reshape.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_reshape.cpp.o.d"
+  "/root/repo/tests/test_rush.cpp" "tests/CMakeFiles/rds_tests.dir/test_rush.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_rush.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/rds_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_share.cpp" "tests/CMakeFiles/rds_tests.dir/test_share.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_share.cpp.o.d"
+  "/root/repo/tests/test_sieve.cpp" "tests/CMakeFiles/rds_tests.dir/test_sieve.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_sieve.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/rds_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_snapshot.cpp.o.d"
+  "/root/repo/tests/test_static_placement.cpp" "tests/CMakeFiles/rds_tests.dir/test_static_placement.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_static_placement.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/rds_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_storage_pool.cpp" "tests/CMakeFiles/rds_tests.dir/test_storage_pool.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_storage_pool.cpp.o.d"
+  "/root/repo/tests/test_trivial.cpp" "tests/CMakeFiles/rds_tests.dir/test_trivial.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_trivial.cpp.o.d"
+  "/root/repo/tests/test_virtual_disk.cpp" "tests/CMakeFiles/rds_tests.dir/test_virtual_disk.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_virtual_disk.cpp.o.d"
+  "/root/repo/tests/test_weighted_dht.cpp" "tests/CMakeFiles/rds_tests.dir/test_weighted_dht.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_weighted_dht.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/rds_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/rds_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

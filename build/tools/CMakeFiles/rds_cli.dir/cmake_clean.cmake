@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rds_cli.dir/rds_cli.cpp.o"
+  "CMakeFiles/rds_cli.dir/rds_cli.cpp.o.d"
+  "rds_cli"
+  "rds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
