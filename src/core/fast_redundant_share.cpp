@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/metrics/registry.hpp"
 #include "src/util/hash.hpp"
 
 namespace rds {
@@ -36,6 +37,11 @@ FastRedundantShare::FastRedundantShare(const ClusterConfig& config, unsigned k,
       na[j] = tables_.f(m, j) >= 1.0 ? j : na[j + 1];
     }
   }
+  metrics::Registry& reg = metrics::Registry::global();
+  const metrics::Labels labels{{"strategy", "fast-redundant-share"}};
+  placements_total_ = &reg.counter("rds_placements_total", labels);
+  chain_columns_total_ = &reg.counter("rds_placement_chain_columns_total",
+                                      labels);
 }
 
 std::size_t FastRedundantShare::sample_selection(unsigned m, std::size_t start,
@@ -73,6 +79,10 @@ void FastRedundantShare::place(std::uint64_t address,
     out[pos++] = tables_.uids[i];
     start = i + 1;
   }
+  placements_total_->inc();
+  // `start` now equals one past the deepest column any level consumed --
+  // the fast variant's analogue of the slow walk's chain depth.
+  chain_columns_total_->inc(start);
 }
 
 std::string FastRedundantShare::name() const { return "fast-redundant-share"; }

@@ -22,6 +22,10 @@
 
 namespace rds {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 class FastRedundantShare final : public ReplicationStrategy {
  public:
   FastRedundantShare(const ClusterConfig& config, unsigned k);
@@ -53,6 +57,11 @@ class FastRedundantShare final : public ReplicationStrategy {
   // next_absorbing_[m-1][i] = first column >= i with f(m, .) >= 1 (n if
   // none; one always exists within reach of any valid state).
   std::vector<std::vector<std::size_t>> next_absorbing_;
+
+  // Registry-owned instruments: placements served and total columns the
+  // level samplers consumed (two relaxed increments per place()).
+  metrics::Counter* placements_total_ = nullptr;
+  metrics::Counter* chain_columns_total_ = nullptr;
 };
 
 }  // namespace rds

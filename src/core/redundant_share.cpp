@@ -1,10 +1,13 @@
 #include "src/core/redundant_share.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/capacity.hpp"
+#include "src/metrics/registry.hpp"
 #include "src/placement/rendezvous.hpp"
 #include "src/util/hash.hpp"
 
@@ -17,22 +20,55 @@ RsTables RsTables::build(const ClusterConfig& config, unsigned k,
   if (config.size() < k) {
     throw std::invalid_argument("RedundantShare: fewer devices than k");
   }
-  RsTables t;
-  t.k = k;
-  t.uids.reserve(config.size());
-  for (const Device& d : config.devices()) t.uids.push_back(d.uid);
+  std::vector<DeviceId> uids;
+  uids.reserve(config.size());
+  for (const Device& d : config.devices()) uids.push_back(d.uid);
 
   std::vector<double> caps = config.capacities();  // canonical: descending
-  t.caps = apply_optimal_weights ? optimal_weights(caps, k) : std::move(caps);
+  if (apply_optimal_weights) caps = optimal_weights(caps, k);
+  return build_from_weights(std::move(uids), std::move(caps), k,
+                            apply_adjustment);
+}
+
+RsTables RsTables::build_from_weights(std::vector<DeviceId> uids,
+                                      std::vector<double> weights_desc,
+                                      unsigned k, bool apply_adjustment) {
+  if (k == 0) throw std::invalid_argument("RedundantShare: k == 0");
+  if (uids.size() != weights_desc.size()) {
+    throw std::invalid_argument("RedundantShare: uids/weights size mismatch");
+  }
+  if (weights_desc.size() < k) {
+    throw std::invalid_argument("RedundantShare: fewer devices than k");
+  }
+  RsTables t;
+  t.k = k;
+  t.uids = std::move(uids);
+  t.caps = std::move(weights_desc);
 
   const std::size_t n = t.caps.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(t.caps[i]) || t.caps[i] < 0.0) {
+      throw std::invalid_argument(
+          "RedundantShare: weight at canonical index " + std::to_string(i) +
+          " is negative or not finite");
+    }
+  }
   t.suffix.assign(n + 1, 0.0);
   for (std::size_t i = n; i-- > 0;) t.suffix[i] = t.suffix[i + 1] + t.caps[i];
 
-  // Defaults: f(m, j) = min(1, m * b_j / B_j).
+  // Defaults: f(m, j) = min(1, m * b_j / B_j).  Every suffix B_j (j < n)
+  // must be strictly positive or the division poisons the whole chain with
+  // NaN -- a zero-capacity tail can only arrive here through a config whose
+  // validation was bypassed (or a future zero-weight device class), so fail
+  // loudly instead of placing garbage.
   t.select_prob.assign(k, std::vector<double>(n, 0.0));
-  for (unsigned m = 1; m <= k; ++m) {
-    for (std::size_t j = 0; j < n; ++j) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!(t.suffix[j] > 0.0)) {
+      throw std::invalid_argument(
+          "RedundantShare: capacity suffix B_j is zero at canonical index " +
+          std::to_string(j) + " (zero-capacity tail device?)");
+    }
+    for (unsigned m = 1; m <= k; ++m) {
       t.select_prob[m - 1][j] =
           std::min(1.0, static_cast<double>(m) * t.caps[j] / t.suffix[j]);
     }
@@ -59,7 +95,12 @@ RsTables RsTables::build(const ClusterConfig& config, unsigned k,
         const double headroom = pi[m] * (1.0 - t.select_prob[m - 1][j]);
         if (headroom <= 0.0) continue;
         const double take = std::min(deficit, headroom);
-        t.select_prob[m - 1][j] += take / pi[m];
+        // In exact arithmetic take / pi[m] <= 1 - f, but with a tiny pi[m]
+        // the quotient can round past the remaining headroom and push the
+        // probability above 1 -- clamp so f stays a probability.
+        double& f = t.select_prob[m - 1][j];
+        f = std::min(1.0, f + take / pi[m]);
+        assert(f >= 0.0 && f <= 1.0);
         deficit -= take;
       }
       if (deficit > 1e-12) {
@@ -89,7 +130,15 @@ RedundantShare::RedundantShare(const ClusterConfig& config, unsigned k)
 RedundantShare::RedundantShare(const ClusterConfig& config, unsigned k,
                                Options opt)
     : tables_(detail::RsTables::build(config, k, opt.apply_optimal_weights,
-                                      opt.apply_adjustment)) {}
+                                      opt.apply_adjustment)) {
+  metrics::Registry& reg = metrics::Registry::global();
+  const metrics::Labels labels{{"strategy", "redundant-share"}};
+  placements_total_ = &reg.counter("rds_placements_total", labels);
+  chain_columns_total_ = &reg.counter("rds_placement_chain_columns_total",
+                                      labels);
+  last_copy_candidates_total_ =
+      &reg.counter("rds_placement_last_copy_candidates_total", labels);
+}
 
 void RedundantShare::place(std::uint64_t address,
                            std::span<DeviceId> out) const {
@@ -107,6 +156,8 @@ void RedundantShare::place(std::uint64_t address,
       // Without clamped columns the weights reduce to the plain adjusted
       // capacities, exactly the paper's placeonecopy input.
       out[pos] = place_last(address, j);
+      placements_total_->inc();
+      chain_columns_total_->inc(j);
       return;
     }
     const double f = tables_.f(m, j);
@@ -136,6 +187,7 @@ DeviceId RedundantShare::place_last(std::uint64_t address,
     if (f >= 1.0) break;  // absorbing: no mass beyond
     survive *= 1.0 - f;
   }
+  last_copy_candidates_total_->inc(candidates.size());
   const DeviceId uid = rendezvous_draw(address, /*salt=*/1, candidates);
   if (uid == kNoDevice) {
     throw std::logic_error("RedundantShare: empty last-copy suffix");

@@ -38,6 +38,10 @@
 
 namespace rds {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 namespace detail {
 
 /// Shared precomputed tables for RedundantShare and FastRedundantShare.
@@ -69,6 +73,17 @@ struct RsTables {
   /// systems exactly as Section 3.1 predicts).
   static RsTables build(const ClusterConfig& config, unsigned k,
                         bool apply_optimal_weights, bool apply_adjustment);
+
+  /// Builds directly from pre-adjusted weights in canonical (descending)
+  /// order -- the back half of build(), exposed so callers with their own
+  /// weight pipeline (and tests for degenerate inputs that ClusterConfig
+  /// validation would reject) share one hardened implementation.  Throws
+  /// std::invalid_argument when a weight is non-finite or a capacity
+  /// suffix B_j is not strictly positive (a zero-capacity tail would
+  /// otherwise turn f(m, j) = m * b_j / B_j into NaN).
+  static RsTables build_from_weights(std::vector<DeviceId> uids,
+                                     std::vector<double> weights_desc,
+                                     unsigned k, bool apply_adjustment);
 };
 
 }  // namespace detail
@@ -133,6 +148,13 @@ class RedundantShare final : public ReplicationStrategy {
                                     std::size_t start) const;
 
   detail::RsTables tables_;
+
+  // Registry-owned instruments (see src/metrics/): placements served, chain
+  // columns walked, and last-copy rendezvous sizes.  Single relaxed
+  // increments per place(); never null after construction.
+  metrics::Counter* placements_total_ = nullptr;
+  metrics::Counter* chain_columns_total_ = nullptr;
+  metrics::Counter* last_copy_candidates_total_ = nullptr;
 };
 
 }  // namespace rds

@@ -1,0 +1,37 @@
+// Lock-free monotonic event counter.
+//
+// The write path is a single relaxed fetch_add: safe from any thread, no
+// fences, no locks -- cheap enough to sit inside RedundantShare::place and
+// the storage read/write paths.  Readers (snapshot export, tests) see an
+// eventually-consistent value, which is all a metric needs; fetch_add makes
+// concurrent increments exact (no lost updates), so totals reconcile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace rds::metrics {
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the counter (tests, bench warm-up).  Not atomic with respect to
+  /// concurrent inc(); callers quiesce writers first.
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace rds::metrics

@@ -1,0 +1,172 @@
+// Snapshot serialization: the JSON schema consumed by `rds_cli
+// --metrics-out` and the human-readable text dump of `rds_cli stats`.
+// Schema documented in docs/metrics.md.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/metrics/registry.hpp"
+
+namespace rds::metrics {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_labels(std::string& out, const Labels& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, k);
+    out += "\":\"";
+    append_escaped(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// `name{k="v",...}` -- the text-format metric identity.
+std::string text_identity(const Sample& s) {
+  std::string id = s.name;
+  if (!s.labels.empty()) {
+    id += '{';
+    bool first = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first) id += ',';
+      first = false;
+      id += k;
+      id += "=\"";
+      id += v;
+      id += '"';
+    }
+    id += '}';
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"version\": 1,\n  \"metrics\": [\n";
+  bool first = true;
+  for (const Sample& s : snapshot.samples) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"";
+    append_escaped(out, s.name);
+    out += "\", \"type\": \"";
+    out += to_string(s.type);
+    out += "\", \"labels\": ";
+    append_labels(out, s.labels);
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += ", \"value\": " + std::to_string(s.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += ", \"value\": " + std::to_string(s.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const HistogramData& h = s.histogram;
+        out += ", \"count\": " + std::to_string(h.count);
+        out += ", \"sum\": " + std::to_string(h.sum);
+        out += ", \"min\": " + std::to_string(h.min);
+        out += ", \"max\": " + std::to_string(h.max);
+        out += ", \"p50\": " + format_double(h.quantile(0.50));
+        out += ", \"p90\": " + format_double(h.quantile(0.90));
+        out += ", \"p99\": " + format_double(h.quantile(0.99));
+        out += ", \"buckets\": [";
+        bool bfirst = true;
+        for (const HistogramBucket& b : h.buckets) {
+          if (!bfirst) out += ", ";
+          bfirst = false;
+          out += "{\"le\": " + std::to_string(b.le) +
+                 ", \"count\": " + std::to_string(b.count) + '}';
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string to_text(const Snapshot& snapshot) {
+  std::string out;
+  for (const Sample& s : snapshot.samples) {
+    const std::string id = text_identity(s);
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += id + ' ' + std::to_string(s.counter_value) + '\n';
+        break;
+      case MetricType::kGauge:
+        out += id + ' ' + std::to_string(s.gauge_value) + '\n';
+        break;
+      case MetricType::kHistogram: {
+        const HistogramData& h = s.histogram;
+        out += id + " count=" + std::to_string(h.count) +
+               " sum=" + std::to_string(h.sum) +
+               " min=" + std::to_string(h.min) +
+               " mean=" + format_double(h.mean()) +
+               " p50=" + format_double(h.quantile(0.50)) +
+               " p90=" + format_double(h.quantile(0.90)) +
+               " p99=" + format_double(h.quantile(0.99)) +
+               " max=" + std::to_string(h.max) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_json_file(const Snapshot& snapshot, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("metrics: cannot open " + path + " for writing");
+  }
+  out << to_json(snapshot);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("metrics: failed writing " + path);
+  }
+}
+
+}  // namespace rds::metrics

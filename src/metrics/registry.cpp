@@ -1,0 +1,139 @@
+#include "src/metrics/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rds::metrics {
+namespace {
+
+/// Canonical map key for a label set: sorted `k=v` pairs joined by '\x1f'
+/// (unit separator -- cannot collide with printable label content the way
+/// ',' could).
+std::string label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string_view to_string(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+const Sample* Snapshot::find(std::string_view name,
+                             const Labels& labels) const {
+  Labels sorted = labels;
+  std::ranges::sort(sorted);
+  for (const Sample& s : samples) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: instruments handed out by the registry must stay
+  // valid inside static destructors of any translation unit.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Instrument& Registry::instrument(std::string_view name,
+                                           Labels labels, MetricType type) {
+  std::ranges::sort(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fam = families_.find(name);
+  Family* family;
+  if (fam == families_.end()) {
+    family = &families_[std::string(name)];
+    family->type = type;
+  } else {
+    family = &fam->second;
+    if (family->type != type) {
+      throw std::invalid_argument("metrics: family '" + std::string(name) +
+                                  "' already registered as " +
+                                  std::string(to_string(family->type)));
+    }
+  }
+  Instrument& inst = family->children[label_key(labels)];
+  if (!inst.counter && !inst.gauge && !inst.histogram) {
+    inst.labels = std::move(labels);
+    switch (type) {
+      case MetricType::kCounter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        inst.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+  }
+  return inst;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  return *instrument(name, std::move(labels), MetricType::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  return *instrument(name, std::move(labels), MetricType::kGauge).gauge;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name, Labels labels) {
+  return *instrument(name, std::move(labels), MetricType::kHistogram)
+              .histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, inst] : family.children) {
+      Sample s;
+      s.name = name;
+      s.labels = inst.labels;
+      s.type = family.type;
+      switch (family.type) {
+        case MetricType::kCounter:
+          s.counter_value = inst.counter->value();
+          break;
+        case MetricType::kGauge:
+          s.gauge_value = inst.gauge->value();
+          break;
+        case MetricType::kHistogram:
+          s.histogram = inst.histogram->snapshot();
+          break;
+      }
+      snap.samples.push_back(std::move(s));
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [key, inst] : family.children) {
+      if (inst.counter) inst.counter->reset();
+      if (inst.gauge) inst.gauge->reset();
+      if (inst.histogram) inst.histogram->reset();
+    }
+  }
+}
+
+}  // namespace rds::metrics

@@ -1,0 +1,112 @@
+// Process-wide metric registry: named, labeled families of counters,
+// gauges and latency histograms.
+//
+// Lookup (counter()/gauge()/histogram()) takes a mutex and is meant for
+// construction time: callers resolve their instruments once and keep the
+// returned reference, which stays valid for the life of the process (the
+// registry never deletes a registered metric, and the global registry is
+// intentionally leaked so metrics outlive static destructors).  The
+// increment path is whatever the instrument itself costs -- a relaxed
+// atomic op, no registry involvement.
+//
+// Naming conventions (docs/metrics.md): `rds_` prefix, `_total` suffix for
+// counters, unit suffix for histograms/byte counters (`_ns`, `_bytes`).
+// Labels distinguish instances of one family, e.g.
+//   registry.counter("rds_placements_total", {{"strategy", "redundant-share"}})
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/counter.hpp"
+#include "src/metrics/gauge.hpp"
+#include "src/metrics/latency_histogram.hpp"
+
+namespace rds::metrics {
+
+/// Label set of one metric instance, e.g. {{"device", "3"}}.  Stored and
+/// exported sorted by key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(MetricType type) noexcept;
+
+/// One exported metric instance.
+struct Sample {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t counter_value = 0;  ///< kCounter
+  std::int64_t gauge_value = 0;     ///< kGauge
+  HistogramData histogram;          ///< kHistogram
+};
+
+/// Point-in-time view of the whole registry, ordered by (name, labels).
+struct Snapshot {
+  std::vector<Sample> samples;
+
+  /// Sample with this exact name and label set, or nullptr.
+  [[nodiscard]] const Sample* find(std::string_view name,
+                                   const Labels& labels = {}) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every built-in instrument reports to.
+  [[nodiscard]] static Registry& global();
+
+  /// Finds or creates the instrument; throws std::invalid_argument when the
+  /// name is already registered with a different metric type.
+  [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {});
+  [[nodiscard]] LatencyHistogram& histogram(std::string_view name,
+                                            Labels labels = {});
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every registered instrument (tests, bench warm-up).  Metrics
+  /// stay registered; references stay valid.
+  void reset();
+
+ private:
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::map<std::string, Instrument> children;  ///< key: serialized labels
+  };
+
+  [[nodiscard]] Instrument& instrument(std::string_view name, Labels labels,
+                                       MetricType type);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// JSON document for a snapshot (schema in docs/metrics.md).
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Human-readable one-metric-per-line dump (histograms expand to
+/// count/sum/min/mean/p50/p90/p99/max lines).
+[[nodiscard]] std::string to_text(const Snapshot& snapshot);
+
+/// Writes to_json(snapshot) to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_json_file(const Snapshot& snapshot, const std::string& path);
+
+}  // namespace rds::metrics

@@ -1,0 +1,50 @@
+// RAII latency span: measures a scope on the steady clock and records the
+// elapsed nanoseconds into a LatencyHistogram on destruction.
+//
+//     metrics::ScopedTimer t(placement_latency);
+//     strategy.place(address, out);        // timed
+//
+// Two clock reads per span (~tens of ns); put spans around operations that
+// are themselves at least that expensive -- a storage read, a migration
+// step -- not around a single atomic increment.  stop() ends the span
+// early; a stopped or moved-from timer records nothing.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/metrics/latency_histogram.hpp"
+
+namespace rds::metrics {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram& histogram) noexcept
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records the span now (idempotent); returns the elapsed nanoseconds.
+  std::uint64_t stop() noexcept {
+    if (histogram_ == nullptr) return 0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    histogram_->record(ns);
+    histogram_ = nullptr;
+    return ns;
+  }
+
+  /// Abandons the span without recording (error paths).
+  void cancel() noexcept { histogram_ = nullptr; }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rds::metrics

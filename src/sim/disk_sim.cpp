@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/metrics/registry.hpp"
 #include "src/sim/workload.hpp"
 #include "src/util/histogram.hpp"
 
@@ -62,6 +63,15 @@ SimulationResult simulate_requests(const ClusterConfig& config,
   // Log-bucketed latency histogram: 2% relative quantile error, O(1) memory
   // in the trace length.
   LogHistogram responses(0.1, 1e9, 1.02);
+  // Registry instruments so live scenario runs surface the simulated
+  // device behavior next to the storage/placement metrics.
+  metrics::Registry& reg = metrics::Registry::global();
+  metrics::Counter& requests_total = reg.counter("rds_sim_requests_total");
+  metrics::LatencyHistogram& service_ns =
+      reg.histogram("rds_sim_service_latency_ns");
+  metrics::LatencyHistogram& queue_wait_ns =
+      reg.histogram("rds_sim_queue_wait_ns");
+  metrics::Gauge& queue_depth_peak = reg.gauge("rds_sim_queue_depth_peak");
   double last_arrival = 0.0;
   std::uint64_t seq = 0;
   for (const Request& r : trace) {
@@ -104,6 +114,16 @@ SimulationResult simulate_requests(const ClusterConfig& config,
     result.devices[dev].busy_us += model.service_us();
     responses.add(finish - r.arrival_us);
     result.makespan_us = std::max(result.makespan_us, finish);
+
+    requests_total.inc();
+    service_ns.record(
+        static_cast<std::uint64_t>((finish - r.arrival_us) * 1000.0));
+    const double wait_us = start - r.arrival_us;
+    queue_wait_ns.record(static_cast<std::uint64_t>(wait_us * 1000.0));
+    // FCFS backlog expressed in requests: how many full service times fit
+    // into the wait this arrival experienced.
+    queue_depth_peak.set_max(
+        static_cast<std::int64_t>(std::ceil(wait_us / model.service_us())));
   }
 
   if (responses.count() > 0) {

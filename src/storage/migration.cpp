@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/metrics/registry.hpp"
+
 namespace rds {
 
 MigrationPlan plan_migration(const ReplicationStrategy& before,
@@ -11,6 +13,13 @@ MigrationPlan plan_migration(const ReplicationStrategy& before,
     throw std::invalid_argument("plan_migration: replication mismatch");
   }
   const unsigned k = before.replication();
+  metrics::Registry& reg = metrics::Registry::global();
+  static metrics::Counter& plans_total =
+      reg.counter("rds_migration_plans_total");
+  static metrics::Counter& planned_moves_total =
+      reg.counter("rds_migration_planned_moves_total");
+  static metrics::Counter& planned_fragments_total =
+      reg.counter("rds_migration_planned_fragments_total");
 
   MigrationPlan plan;
   plan.total_fragments = blocks.size() * k;
@@ -26,6 +35,9 @@ MigrationPlan plan_migration(const ReplicationStrategy& before,
       }
     }
   }
+  plans_total.inc();
+  planned_moves_total.inc(plan.moves.size());
+  planned_fragments_total.inc(plan.total_fragments);
   return plan;
 }
 

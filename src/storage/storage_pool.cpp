@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/metrics/registry.hpp"
+
 namespace rds {
 
 StoragePool::StoragePool(ClusterConfig config) : config_(std::move(config)) {
@@ -20,6 +22,7 @@ VirtualDisk& StoragePool::create_volume(
                                             next_volume_id_++, stores_);
   VirtualDisk& ref = *disk;
   volumes_.emplace(name, std::move(disk));
+  metrics::Registry::global().counter("rds_pool_volumes_created_total").inc();
   return ref;
 }
 
@@ -95,6 +98,15 @@ std::uint64_t StoragePool::rebuild() {
     config_.remove_device(uid);
   }
   return rebuilt;
+}
+
+void StoragePool::publish_metrics() const {
+  metrics::Registry& reg = metrics::Registry::global();
+  reg.gauge("rds_pool_volumes")
+      .set(static_cast<std::int64_t>(volumes_.size()));
+  reg.gauge("rds_pool_devices")
+      .set(static_cast<std::int64_t>(config_.size()));
+  for (const auto& [name, disk] : volumes_) disk->publish_device_gauges();
 }
 
 std::vector<StoragePool::DeviceUsage> StoragePool::usage() const {

@@ -64,6 +64,11 @@ class StoragePool {
   };
   [[nodiscard]] std::vector<DeviceUsage> usage() const;
 
+  /// Refreshes the pool-level gauges (`rds_pool_volumes`,
+  /// `rds_pool_devices`) and every volume's per-device load gauges.  Call
+  /// before exporting a metrics snapshot.
+  void publish_metrics() const;
+
  private:
   friend class Snapshot;
 

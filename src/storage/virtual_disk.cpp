@@ -5,6 +5,7 @@
 
 #include "src/core/fast_redundant_share.hpp"
 #include "src/core/redundant_share.hpp"
+#include "src/metrics/scoped_timer.hpp"
 #include "src/placement/static_placement.hpp"
 #include "src/placement/trivial_replication.hpp"
 #include "src/util/hash.hpp"
@@ -20,6 +21,7 @@ VirtualDisk::VirtualDisk(ClusterConfig config,
   for (const Device& d : config_.devices()) {
     stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
   }
+  init_metrics();
 }
 
 VirtualDisk::VirtualDisk(
@@ -37,6 +39,46 @@ VirtualDisk::VirtualDisk(
     }
   }
   strategy_ = make_strategy(config_);
+  init_metrics();
+}
+
+void VirtualDisk::init_metrics() {
+  metrics::Registry& reg = metrics::Registry::global();
+  reads_total_ = &reg.counter("rds_storage_reads_total");
+  writes_total_ = &reg.counter("rds_storage_writes_total");
+  read_bytes_total_ = &reg.counter("rds_storage_read_bytes_total");
+  written_bytes_total_ = &reg.counter("rds_storage_written_bytes_total");
+  degraded_reads_total_ = &reg.counter("rds_storage_degraded_reads_total");
+  checksum_failures_total_ =
+      &reg.counter("rds_storage_checksum_failures_total");
+  fragments_moved_total_ = &reg.counter("rds_migration_fragments_moved_total");
+  migration_bytes_moved_total_ =
+      &reg.counter("rds_migration_bytes_moved_total");
+  fragments_rebuilt_total_ =
+      &reg.counter("rds_migration_fragments_rebuilt_total");
+  fragments_repaired_total_ =
+      &reg.counter("rds_storage_fragments_repaired_total");
+  topology_events_total_ = &reg.counter("rds_topology_events_total");
+  placement_latency_ns_ = &reg.histogram("rds_placement_latency_ns");
+  migration_step_latency_ns_ = &reg.histogram("rds_migration_step_latency_ns");
+}
+
+void VirtualDisk::sync_device_gauge(DeviceId uid) const {
+  const auto store = stores_.find(uid);
+  if (store == stores_.end()) return;
+  auto gauge = device_gauges_.find(uid);
+  if (gauge == device_gauges_.end()) {
+    gauge = device_gauges_
+                .emplace(uid, &metrics::Registry::global().gauge(
+                                  "rds_device_fragments",
+                                  {{"device", std::to_string(uid)}}))
+                .first;
+  }
+  gauge->second->set(static_cast<std::int64_t>(store->second->used()));
+}
+
+void VirtualDisk::publish_device_gauges() const {
+  for (const auto& [uid, store] : stores_) sync_device_gauge(uid);
 }
 
 std::unique_ptr<ReplicationStrategy> VirtualDisk::make_strategy(
@@ -72,6 +114,7 @@ void VirtualDisk::store_fragment(DeviceId target, std::uint64_t block,
   const FragmentKey key{block, j, volume_id_};
   checksums_[key] = checksum(payload);
   stores_.at(target)->write(key, std::move(payload));
+  sync_device_gauge(target);
 }
 
 const ReplicationStrategy& VirtualDisk::strategy_for(
@@ -83,7 +126,11 @@ const ReplicationStrategy& VirtualDisk::strategy_for(
 void VirtualDisk::write(std::uint64_t block,
                         std::span<const std::uint8_t> data) {
   std::vector<Bytes> fragments = scheme_->encode(data);
+  metrics::ScopedTimer placement_span(*placement_latency_ns_);
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
+  placement_span.stop();
+  writes_total_->inc();
+  written_bytes_total_->inc(data.size());
 
   // If the block already exists, clear its old fragments first (it may have
   // been written under a previous configuration).
@@ -114,6 +161,7 @@ std::vector<std::optional<Bytes>> VirtualDisk::gather_fragments(
       // so the decoder reconstructs from healthy peers.
       fragments[j].reset();
       ++stats_.checksum_failures;
+      checksum_failures_total_->inc();
     }
   }
   return fragments;
@@ -124,7 +172,9 @@ std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
   if (size_it == blocks_.end()) {
     throw std::out_of_range("VirtualDisk: block never written");
   }
+  metrics::ScopedTimer placement_span(*placement_latency_ns_);
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
+  placement_span.stop();
   const std::vector<std::optional<Bytes>> fragments =
       gather_fragments(block, targets);
 
@@ -133,7 +183,12 @@ std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
   if (present < scheme_->min_fragments()) {
     throw std::runtime_error("VirtualDisk: block unrecoverable");
   }
-  if (present < scheme_->fragment_count()) ++stats_.degraded_reads;
+  if (present < scheme_->fragment_count()) {
+    ++stats_.degraded_reads;
+    degraded_reads_total_->inc();
+  }
+  reads_total_->inc();
+  read_bytes_total_->inc(size_it->second);
   return scheme_->decode(fragments, size_it->second);
 }
 
@@ -143,7 +198,10 @@ bool VirtualDisk::trim(std::uint64_t block) {
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
   for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
     const auto store = stores_.find(targets[j]);
-    if (store != stores_.end()) store->second->erase({block, j, volume_id_});
+    if (store != stores_.end()) {
+      store->second->erase({block, j, volume_id_});
+      sync_device_gauge(targets[j]);
+    }
     checksums_.erase({block, j, volume_id_});
   }
   blocks_.erase(it);
@@ -226,6 +284,7 @@ std::size_t VirtualDisk::begin_reshape(ClusterConfig next) {
           "VirtualDisk: rebuild() required before migrating a degraded pool");
     }
   }
+  topology_events_total_->inc();
   next_strategy_ = make_strategy(next);
   for (const Device& d : next.devices()) {
     if (!stores_.contains(d.uid)) stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
@@ -260,19 +319,26 @@ void VirtualDisk::reshape_block(std::uint64_t block) {
       // The source copy is gone (failed device) or rotted: rebuild it.
       payload = scheme_->reconstruct_fragment(fragments, j);
       ++stats_.fragments_rebuilt;
+      fragments_rebuilt_total_->inc();
     }
     // Erase before write so a device swapping fragments with another does
     // not transiently exceed its capacity.
     const auto src = stores_.find(old_loc[j]);
-    if (src != stores_.end()) src->second->erase({block, j, volume_id_});
+    if (src != stores_.end()) {
+      src->second->erase({block, j, volume_id_});
+      sync_device_gauge(old_loc[j]);
+    }
     stats_.bytes_moved += payload.size();
     ++stats_.fragments_moved;
+    migration_bytes_moved_total_->inc(payload.size());
+    fragments_moved_total_->inc();
     store_fragment(new_loc[j], block, j, std::move(payload));
   }
 }
 
 std::size_t VirtualDisk::step_reshape(std::size_t max_blocks) {
   if (!reshaping()) return 0;
+  metrics::ScopedTimer step_span(*migration_step_latency_ns_);
   std::size_t processed = 0;
   while (processed < max_blocks && !pending_.empty()) {
     const std::uint64_t block = *pending_.begin();
@@ -319,6 +385,7 @@ std::uint64_t VirtualDisk::repair() {
       Bytes payload = scheme_->reconstruct_fragment(fragments, j);
       store_fragment(loc[j], block, j, std::move(payload));
       ++stats_.fragments_repaired;
+      fragments_repaired_total_->inc();
     }
   }
   return stats_.fragments_repaired - repaired_before;

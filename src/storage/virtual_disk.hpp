@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/cluster/cluster_config.hpp"
+#include "src/metrics/registry.hpp"
 #include "src/placement/strategy.hpp"
 #include "src/storage/device_store.hpp"
 #include "src/storage/redundancy_scheme.hpp"
@@ -158,6 +159,12 @@ class VirtualDisk {
   [[nodiscard]] std::uint64_t used_on(DeviceId uid) const;
   [[nodiscard]] std::uint32_t volume_id() const noexcept { return volume_id_; }
 
+  /// Re-publishes the per-device load gauges
+  /// (`rds_device_fragments{device=...}`) from the current store contents.
+  /// The write path keeps them fresh incrementally; call this before a
+  /// snapshot export to also reflect erase-only activity (trims, drains).
+  void publish_device_gauges() const;
+
   /// Ids of all blocks currently stored (for pool bookkeeping and volume
   /// teardown).
   [[nodiscard]] std::vector<std::uint64_t> block_ids() const;
@@ -193,6 +200,12 @@ class VirtualDisk {
   void store_fragment(DeviceId target, std::uint64_t block, unsigned j,
                       Bytes payload);
 
+  /// Resolves the registry instruments (both constructors).
+  void init_metrics();
+
+  /// Updates `uid`'s load gauge from its store (no-op for unknown uids).
+  void sync_device_gauge(DeviceId uid) const;
+
   ClusterConfig config_;
   std::shared_ptr<RedundancyScheme> scheme_;
   PlacementKind kind_;
@@ -202,6 +215,25 @@ class VirtualDisk {
   std::unordered_map<std::uint64_t, std::size_t> blocks_;  // block -> size
   std::unordered_map<FragmentKey, std::uint64_t, FragmentKeyHash> checksums_;
   Stats stats_;
+
+  // Registry-owned instruments (process lifetime; see docs/metrics.md).
+  metrics::Counter* reads_total_ = nullptr;
+  metrics::Counter* writes_total_ = nullptr;
+  metrics::Counter* read_bytes_total_ = nullptr;
+  metrics::Counter* written_bytes_total_ = nullptr;
+  metrics::Counter* degraded_reads_total_ = nullptr;
+  metrics::Counter* checksum_failures_total_ = nullptr;
+  metrics::Counter* fragments_moved_total_ = nullptr;
+  metrics::Counter* migration_bytes_moved_total_ = nullptr;
+  metrics::Counter* fragments_rebuilt_total_ = nullptr;
+  metrics::Counter* fragments_repaired_total_ = nullptr;
+  metrics::Counter* topology_events_total_ = nullptr;
+  metrics::LatencyHistogram* placement_latency_ns_ = nullptr;
+  metrics::LatencyHistogram* migration_step_latency_ns_ = nullptr;
+  // Per-device load gauges, cached so the write path never touches the
+  // registry mutex (VirtualDisk itself is single-threaded; mutable because
+  // the cache fills lazily from const paths).
+  mutable std::unordered_map<DeviceId, metrics::Gauge*> device_gauges_;
 
   // In-flight reshape state (empty/null when idle).
   ClusterConfig next_config_;

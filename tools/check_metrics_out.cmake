@@ -1,0 +1,42 @@
+# ctest helper: runs `rds_cli simulate --metrics-out OUT` and asserts the
+# JSON snapshot contains the metric families the scenario must have touched.
+#
+# Expects -DRDS_CLI=<path to rds_cli> -DTRACE=<trace file> -DOUT=<json path>.
+foreach(var RDS_CLI TRACE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_metrics_out.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${RDS_CLI}" simulate --caps 1000,1000,1000
+          --script "${TRACE}" --metrics-out "${OUT}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rds_cli simulate failed (rc=${rc}): ${stderr}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+  message(FATAL_ERROR "--metrics-out did not create ${OUT}")
+endif()
+file(READ "${OUT}" json)
+
+foreach(needle
+    "\"version\""
+    "rds_placements_total"
+    "rds_placement_latency_ns"
+    "rds_device_fragments"
+    "rds_migration_bytes_moved_total"
+    "rds_migration_fragments_moved_total"
+    "rds_storage_degraded_reads_total"
+    "rds_topology_events_total"
+    "\"buckets\"")
+  string(FIND "${json}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "metrics JSON is missing ${needle}:\n${json}")
+  endif()
+endforeach()
+
+message(STATUS "metrics snapshot OK: ${OUT}")

@@ -26,13 +26,24 @@
 //       Runs an operation trace (see src/sim/op_trace.hpp for the command
 //       language) against a virtual disk built on the pool.
 //
+//   rds_cli stats    --caps 500,600,700 --k 2 [--balls 100000]
+//       Materializes a placement and dumps the metrics registry (see
+//       docs/metrics.md) in text form: placement counters, chain depths,
+//       per-device load gauges.
+//
+// Every command accepts --metrics-out FILE to additionally write the full
+// metrics registry as a JSON snapshot (schema: docs/metrics.md) when the
+// command finishes.
+//
 // Devices keep their uid (= index in the ORIGINAL --caps list) across
 // --to-caps, so growing a pool means appending capacities and shrinking it
 // means passing 0 for retired devices.
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <functional>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -43,6 +54,7 @@
 #include "src/core/capacity.hpp"
 #include "src/core/loss_analysis.hpp"
 #include "src/core/redundant_share.hpp"
+#include "src/metrics/registry.hpp"
 #include "src/sim/op_trace.hpp"
 #include "src/storage/erasure/evenodd.hpp"
 #include "src/storage/erasure/rdp.hpp"
@@ -57,19 +69,49 @@ using namespace rds;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
-      << "usage: rds_cli <analyze|place|fairness|migrate> [options]\n"
+      << "usage: rds_cli <analyze|place|fairness|migrate|loss|simulate|stats>"
+         " [options]\n"
       << "  --caps a,b,c      device capacities (uid = position)\n"
       << "  --to-caps a,b,c   target capacities for `migrate` (0 = retired)\n"
       << "  --k N             replication degree (default 2)\n"
       << "  --address N       first ball address for `place` (default 0)\n"
       << "  --count N         number of balls for `place` (default 1)\n"
-      << "  --balls N         sample size for fairness/migrate (default 100000)\n"
+      << "  --balls N         sample size for fairness/migrate/stats"
+         " (default 100000)\n"
       << "  --failed a,b      device uids assumed failed, for `loss`\n"
       << "  --need N          fragments needed to reconstruct (default 1)\n"
       << "  --script FILE     operation trace for `simulate`\n"
       << "  --scheme S        redundancy for `simulate`: mirror:K, rs:D+P,\n"
-      << "                    evenodd:P, rdp:P (default mirror:2)\n";
+      << "                    evenodd:P, rdp:P (default mirror:2)\n"
+      << "  --metrics-out F   write a JSON metrics snapshot to F on exit\n";
   std::exit(2);
+}
+
+/// Strict decimal parser: the whole string must be digits and fit the
+/// target type.  Everything the shell can mistype -- signs, spaces,
+/// trailing garbage, overflow -- lands in usage() with a nonzero exit
+/// instead of an uncaught std::invalid_argument / std::out_of_range or a
+/// silently wrapped value (stoull happily parses "-1" as 2^64-1).
+std::uint64_t parse_u64(const std::string& what, const std::string& value) {
+  std::uint64_t out = 0;
+  const char* const first = value.data();
+  const char* const last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) {
+    usage(what + " out of range: " + value);
+  }
+  if (ec != std::errc() || ptr != last || value.empty()) {
+    usage("bad " + what + ": '" + value + "' (expected unsigned integer)");
+  }
+  return out;
+}
+
+unsigned parse_u32(const std::string& what, const std::string& value) {
+  const std::uint64_t v = parse_u64(what, value);
+  if (v > std::numeric_limits<unsigned>::max()) {
+    usage(what + " out of range: " + value);
+  }
+  return static_cast<unsigned>(v);
 }
 
 std::vector<std::uint64_t> parse_caps(const std::string& arg) {
@@ -77,11 +119,7 @@ std::vector<std::uint64_t> parse_caps(const std::string& arg) {
   std::stringstream ss(arg);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    try {
-      caps.push_back(std::stoull(item));
-    } catch (const std::exception&) {
-      usage("bad capacity: " + item);
-    }
+    caps.push_back(parse_u64("capacity", item));
   }
   if (caps.empty()) usage("empty capacity list");
   return caps;
@@ -104,6 +142,7 @@ struct Args {
   std::vector<std::uint64_t> failed;
   std::string script;
   std::string scheme = "mirror:2";
+  std::string metrics_out;
   unsigned k = 2;
   unsigned need = 1;
   std::uint64_t address = 0;
@@ -116,28 +155,24 @@ std::shared_ptr<RedundancyScheme> parse_scheme(const std::string& spec) {
   if (colon == std::string::npos) usage("bad --scheme: " + spec);
   const std::string kind = spec.substr(0, colon);
   const std::string param = spec.substr(colon + 1);
-  try {
-    if (kind == "mirror") {
-      return std::make_shared<MirroringScheme>(
-          static_cast<unsigned>(std::stoul(param)));
-    }
-    if (kind == "rs") {
-      const std::size_t plus = param.find('+');
-      if (plus == std::string::npos) usage("rs scheme needs D+P");
-      return std::make_shared<ReedSolomonScheme>(
-          static_cast<unsigned>(std::stoul(param.substr(0, plus))),
-          static_cast<unsigned>(std::stoul(param.substr(plus + 1))));
-    }
-    if (kind == "evenodd") {
-      return std::make_shared<EvenOddScheme>(
-          static_cast<unsigned>(std::stoul(param)));
-    }
-    if (kind == "rdp") {
-      return std::make_shared<RdpScheme>(
-          static_cast<unsigned>(std::stoul(param)));
-    }
-  } catch (const std::invalid_argument& e) {
-    usage(std::string("bad --scheme parameter: ") + e.what());
+  if (kind == "mirror") {
+    return std::make_shared<MirroringScheme>(
+        parse_u32("--scheme mirror parameter", param));
+  }
+  if (kind == "rs") {
+    const std::size_t plus = param.find('+');
+    if (plus == std::string::npos) usage("rs scheme needs D+P");
+    return std::make_shared<ReedSolomonScheme>(
+        parse_u32("--scheme rs data count", param.substr(0, plus)),
+        parse_u32("--scheme rs parity count", param.substr(plus + 1)));
+  }
+  if (kind == "evenodd") {
+    return std::make_shared<EvenOddScheme>(
+        parse_u32("--scheme evenodd parameter", param));
+  }
+  if (kind == "rdp") {
+    return std::make_shared<RdpScheme>(
+        parse_u32("--scheme rdp parameter", param));
   }
   usage("unknown scheme kind: " + kind);
 }
@@ -166,25 +201,25 @@ Args parse(int argc, char** argv) {
   }
   if (const std::string v = get("--script"); !v.empty()) args.script = v;
   if (const std::string v = get("--scheme"); !v.empty()) args.scheme = v;
-  try {
-    if (const std::string v = get("--k"); !v.empty()) {
-      args.k = static_cast<unsigned>(std::stoul(v));
-    }
-    if (const std::string v = get("--need"); !v.empty()) {
-      args.need = static_cast<unsigned>(std::stoul(v));
-    }
-    if (const std::string v = get("--address"); !v.empty()) {
-      args.address = std::stoull(v);
-    }
-    if (const std::string v = get("--count"); !v.empty()) {
-      args.count = std::stoull(v);
-    }
-    if (const std::string v = get("--balls"); !v.empty()) {
-      args.balls = std::stoull(v);
-    }
-  } catch (const std::exception&) {
-    usage("bad numeric option");
+  if (const std::string v = get("--metrics-out"); !v.empty()) {
+    args.metrics_out = v;
   }
+  if (const std::string v = get("--k"); !v.empty()) {
+    args.k = parse_u32("--k", v);
+  }
+  if (const std::string v = get("--need"); !v.empty()) {
+    args.need = parse_u32("--need", v);
+  }
+  if (const std::string v = get("--address"); !v.empty()) {
+    args.address = parse_u64("--address", v);
+  }
+  if (const std::string v = get("--count"); !v.empty()) {
+    args.count = parse_u64("--count", v);
+  }
+  if (const std::string v = get("--balls"); !v.empty()) {
+    args.balls = parse_u64("--balls", v);
+  }
+  if (args.k == 0) usage("--k must be at least 1");
   if (args.caps.empty()) usage("--caps is required");
   return args;
 }
@@ -283,6 +318,7 @@ int cmd_simulate(const Args& args) {
       VirtualDisk(config_from(args.caps), parse_scheme(args.scheme)));
   const TraceStats stats = runner.run(script);
   const VirtualDisk::Stats& disk = runner.disk().stats();
+  runner.disk().publish_device_gauges();
   std::cout << "commands executed:   " << stats.commands << '\n'
             << "blocks written:      " << stats.blocks_written << '\n'
             << "blocks verified:     " << stats.blocks_verified << '\n'
@@ -296,20 +332,44 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  const ClusterConfig config = config_from(args.caps);
+  const RedundantShare strategy(config, args.k);
+  const BlockMap map(strategy, args.balls);
+  metrics::Registry& reg = metrics::Registry::global();
+  for (const auto& [uid, fragments] : map.device_counts()) {
+    reg.gauge("rds_device_fragments",
+              {{"device", std::to_string(uid)}})
+        .set(static_cast<std::int64_t>(fragments));
+  }
+  std::cout << metrics::to_text(reg.snapshot());
+  return 0;
+}
+
+int dispatch(const Args& args) {
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "place") return cmd_place(args);
+  if (args.command == "fairness") return cmd_fairness(args);
+  if (args.command == "migrate") return cmd_migrate(args);
+  if (args.command == "loss") return cmd_loss(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "stats") return cmd_stats(args);
+  usage("unknown command: " + args.command);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
   try {
-    if (args.command == "analyze") return cmd_analyze(args);
-    if (args.command == "place") return cmd_place(args);
-    if (args.command == "fairness") return cmd_fairness(args);
-    if (args.command == "migrate") return cmd_migrate(args);
-    if (args.command == "loss") return cmd_loss(args);
-    if (args.command == "simulate") return cmd_simulate(args);
+    const int rc = dispatch(args);
+    if (rc == 0 && !args.metrics_out.empty()) {
+      metrics::write_json_file(metrics::Registry::global().snapshot(),
+                               args.metrics_out);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  usage("unknown command: " + args.command);
 }
