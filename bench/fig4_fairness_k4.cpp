@@ -6,7 +6,7 @@
 #include <memory>
 
 #include "bench/bench_common.hpp"
-#include "src/core/redundant_share.hpp"
+#include "src/placement/strategy_factory.hpp"
 #include "src/sim/block_map.hpp"
 #include "src/sim/fairness_report.hpp"
 #include "src/sim/movement.hpp"
@@ -23,16 +23,19 @@ int main() {
   constexpr unsigned kK = 4;
   constexpr double kFill = 0.60;
 
-  std::unique_ptr<RedundantShare> previous;
+  std::unique_ptr<ReplicationStrategy> previous;
   std::uint64_t previous_balls = 0;
   for (const ScenarioPhase& phase : paper_figure2_phases()) {
-    auto strategy = std::make_unique<RedundantShare>(phase.config, kK);
+    auto strategy = make_replication_strategy(PlacementKind::kRedundantShare,
+                                              phase.config, kK);
+    const std::vector<double> adjusted =
+        usable_capacities(*strategy, phase.config);
     double usable = 0.0;
-    for (const double c : strategy->adjusted_capacities()) usable += c;
+    for (const double c : adjusted) usable += c;
     const auto balls = static_cast<std::uint64_t>(kFill * usable / kK);
     const BlockMap map(*strategy, balls);
     const FairnessReport report =
-        fairness_report(phase.config, strategy->adjusted_capacities(), map);
+        fairness_report(phase.config, adjusted, map);
     report.print(std::cout,
                  phase.label + "  (" + std::to_string(balls) + " blocks)");
     if (previous) {

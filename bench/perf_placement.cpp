@@ -8,11 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <numeric>
 #include <vector>
 
 #include "src/core/fast_redundant_share.hpp"
 #include "src/core/precomputed_redundant_share.hpp"
 #include "src/core/redundant_share.hpp"
+#include "src/placement/batch_placer.hpp"
 #include "src/placement/consistent_hashing.hpp"
 #include "src/placement/rendezvous.hpp"
 #include "src/placement/share.hpp"
@@ -73,12 +75,43 @@ void bm_construction(benchmark::State& state) {
   }
 }
 
+// Batch placement through the BatchPlacer worker pool: one 64k-address
+// batch per iteration, swept over the pool size.  Throughput (items/s)
+// against the threads=1 row is the multithreaded speedup; on a single
+// hardware core the rows collapse to the same rate minus hand-off overhead.
+template <typename Strategy>
+void bm_batch_place(benchmark::State& state) {
+  constexpr std::size_t kBatch = 65536;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const auto threads = static_cast<unsigned>(state.range(2));
+  const ClusterConfig config = make_cluster(n);
+  const Strategy strategy(config, k);
+  BatchPlacer placer(threads);
+  std::vector<std::uint64_t> addresses(kBatch);
+  std::iota(addresses.begin(), addresses.end(), std::uint64_t{0});
+  std::vector<DeviceId> out(kBatch * k);
+  for (auto _ : state) {
+    placer.place(strategy, addresses, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+
 void replicated_args(benchmark::internal::Benchmark* b) {
   for (const std::int64_t n : {10, 100, 1000}) {
     for (const std::int64_t k : {2, 4}) {
       b->Args({n, k});
     }
   }
+}
+
+void batch_args(benchmark::internal::Benchmark* b) {
+  for (const std::int64_t threads : {1, 2, 4, 8}) {
+    b->Args({1000, 2, threads});
+  }
+  b->UseRealTime();  // wall clock: the pool's threads do the work
 }
 
 }  // namespace
@@ -97,6 +130,10 @@ BENCHMARK_TEMPLATE(bm_single, ConsistentHashing)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK_TEMPLATE(bm_single, Share)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK_TEMPLATE(bm_single, Sieve)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK_TEMPLATE(bm_single, WeightedDht)->Arg(10)->Arg(100)->Arg(1000);
+
+BENCHMARK_TEMPLATE(bm_batch_place, FastRedundantShare)->Apply(batch_args);
+BENCHMARK_TEMPLATE(bm_batch_place, RedundantShare)->Args({1000, 2, 4})
+    ->UseRealTime();
 
 BENCHMARK_TEMPLATE(bm_construction, RedundantShare)->Args({1000, 4});
 BENCHMARK_TEMPLATE(bm_construction, FastRedundantShare)->Args({1000, 4});

@@ -9,8 +9,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "src/core/redundant_share.hpp"
-#include "src/placement/static_placement.hpp"
+#include "src/placement/strategy_factory.hpp"
 #include "src/sim/block_map.hpp"
 #include "src/sim/movement.hpp"
 
@@ -21,17 +20,19 @@ using namespace rds;
 constexpr unsigned kK = 2;
 constexpr std::uint64_t kBalls = 200'000;
 
+MovementReport transition(PlacementKind kind, const ClusterConfig& before,
+                          const ClusterConfig& after) {
+  const auto sb = make_replication_strategy(kind, before, kK);
+  const auto sa = make_replication_strategy(kind, after, kK);
+  return diff_placements(BlockMap(*sb, kBalls), BlockMap(*sa, kBalls));
+}
+
 void report_step(const std::string& what, const ClusterConfig& before,
                  const ClusterConfig& after) {
-  const RedundantShare sb(before, kK);
-  const RedundantShare sa(after, kK);
   const MovementReport rs =
-      diff_placements(BlockMap(sb, kBalls), BlockMap(sa, kBalls));
-
-  const RoundRobinStriping tb(before, kK);
-  const RoundRobinStriping ta(after, kK);
+      transition(PlacementKind::kRedundantShare, before, after);
   const MovementReport stripe =
-      diff_placements(BlockMap(tb, kBalls), BlockMap(ta, kBalls));
+      transition(PlacementKind::kRoundRobin, before, after);
 
   std::cout << std::fixed << std::setprecision(1);
   std::cout << what << ":\n"
@@ -72,8 +73,9 @@ int main() {
   report_step("retire the four 1T disks", bigger, retired);
 
   // Final fairness check.
-  const RedundantShare final_strategy(retired, kK);
-  const BlockMap map(final_strategy, kBalls);
+  const auto final_strategy =
+      make_replication_strategy(PlacementKind::kRedundantShare, retired, kK);
+  const BlockMap map(*final_strategy, kBalls);
   std::cout << "\nfinal pool utilization (copies per 1000 capacity):\n";
   for (const Device& d : retired.devices()) {
     std::cout << "  " << d.name << ": "

@@ -5,6 +5,7 @@
 //   3. place(address) returns the k pairwise-distinct devices of the block's
 //      copies -- a pure function, so every client computes the same answer
 //      with no coordination and no placement tables.
+#include <array>
 #include <cstdint>
 #include <iostream>
 
@@ -28,8 +29,9 @@ int main() {
   const RedundantShare strategy(pool, /*k=*/2);
 
   std::cout << "placement of the first few blocks:\n";
+  std::array<DeviceId, 2> copies{};  // span overload: no per-call allocation
   for (std::uint64_t block = 0; block < 8; ++block) {
-    const std::vector<DeviceId> copies = strategy.place(block);
+    strategy.place(block, copies);
     std::cout << "  block " << block << " -> primary on device " << copies[0]
               << ", mirror on device " << copies[1] << '\n';
   }

@@ -1,0 +1,121 @@
+#include "src/placement/batch_placer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/metrics/registry.hpp"
+#include "src/metrics/scoped_timer.hpp"
+
+namespace rds {
+
+BatchPlacer::BatchPlacer(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  metrics::Registry& reg = metrics::Registry::global();
+  placements_total_ = &reg.counter("rds_batch_placements_total");
+  batches_total_ = &reg.counter("rds_batch_batches_total");
+  inflight_ = &reg.gauge("rds_batch_inflight");
+  batch_latency_ns_ = &reg.histogram("rds_batch_placement_latency_ns");
+
+  workers_.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchPlacer::~BatchPlacer() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void BatchPlacer::run_chunks(Batch& batch) {
+  for (;;) {
+    const std::size_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.chunk_count) return;
+    const std::size_t begin = c * batch.chunk;
+    const std::size_t end = std::min(batch.count, begin + batch.chunk);
+    batch.strategy->place_many(
+        {batch.addresses + begin, end - begin},
+        {batch.out + begin * batch.k, (end - begin) * batch.k});
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.chunk_count) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void BatchPlacer::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this, seen] {
+      return stopping_ || (batch_ != nullptr && generation_ != seen);
+    });
+    if (stopping_) return;
+    seen = generation_;
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    run_chunks(*batch);
+    lock.lock();
+  }
+}
+
+void BatchPlacer::place(const ReplicationStrategy& strategy,
+                        std::span<const std::uint64_t> addresses,
+                        std::span<DeviceId> out) {
+  const unsigned k = strategy.replication();
+  if (out.size() != addresses.size() * k) {
+    throw std::invalid_argument(
+        "BatchPlacer::place: output size != addresses * k");
+  }
+  if (addresses.empty()) return;
+
+  inflight_->add(1);
+  metrics::ScopedTimer batch_span(*batch_latency_ns_);
+
+  if (workers_.empty()) {
+    strategy.place_many(addresses, out);
+  } else {
+    auto batch = std::make_shared<Batch>();
+    batch->strategy = &strategy;
+    batch->addresses = addresses.data();
+    batch->out = out.data();
+    batch->count = addresses.size();
+    batch->k = k;
+    // Chunks well past the thread count so a straggler core cannot stall
+    // the batch, but large enough that the fetch_add is noise.
+    batch->chunk = std::max<std::size_t>(
+        256, addresses.size() / (std::size_t{thread_count()} * 8));
+    batch->chunk_count =
+        (batch->count + batch->chunk - 1) / batch->chunk;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      batch_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    run_chunks(*batch);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&batch] {
+        return batch->done.load(std::memory_order_acquire) ==
+               batch->chunk_count;
+      });
+      batch_.reset();
+    }
+  }
+
+  // One metrics flush per batch, not per placement.
+  batch_span.stop();
+  placements_total_->inc(addresses.size());
+  batches_total_->inc();
+  inflight_->sub(1);
+}
+
+}  // namespace rds

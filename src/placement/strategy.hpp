@@ -57,11 +57,28 @@ class ReplicationStrategy {
   /// 0..k-1.  Entries are pairwise distinct.
   virtual void place(std::uint64_t address, std::span<DeviceId> out) const = 0;
 
-  /// Convenience overload returning a fresh vector.
+  /// Convenience overload returning a fresh vector.  Allocates per call --
+  /// hot loops use the span overload or place_many() instead.
   [[nodiscard]] std::vector<DeviceId> place(std::uint64_t address) const {
     std::vector<DeviceId> out(replication());
     place(address, out);
     return out;
+  }
+
+  /// Batch placement: fills out[i*k .. i*k+k) with the copies of
+  /// addresses[i].  `out.size()` must equal `addresses.size() * k`.  The
+  /// default loops over place(); strategies whose per-call setup can be
+  /// amortized across a batch may override.
+  virtual void place_many(std::span<const std::uint64_t> addresses,
+                          std::span<DeviceId> out) const {
+    const unsigned k = replication();
+    if (out.size() != addresses.size() * k) {
+      throw std::invalid_argument(
+          "ReplicationStrategy::place_many: output size != addresses * k");
+    }
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      place(addresses[i], out.subspan(i * k, k));
+    }
   }
 
   /// Replication degree k.

@@ -1,0 +1,50 @@
+#include "src/placement/strategy_factory.hpp"
+
+#include <stdexcept>
+
+#include "src/core/fast_redundant_share.hpp"
+#include "src/core/redundant_share.hpp"
+#include "src/placement/static_placement.hpp"
+#include "src/placement/trivial_replication.hpp"
+
+namespace rds {
+
+std::unique_ptr<ReplicationStrategy> make_replication_strategy(
+    PlacementKind kind, const ClusterConfig& config, unsigned k) {
+  switch (kind) {
+    case PlacementKind::kRedundantShare:
+      return std::make_unique<RedundantShare>(config, k);
+    case PlacementKind::kFastRedundantShare:
+      return std::make_unique<FastRedundantShare>(config, k);
+    case PlacementKind::kTrivial:
+      return std::make_unique<TrivialReplication>(config, k);
+    case PlacementKind::kRoundRobin:
+      return std::make_unique<RoundRobinStriping>(config, k);
+  }
+  throw std::logic_error("make_replication_strategy: unknown placement kind");
+}
+
+std::string_view to_string(PlacementKind kind) noexcept {
+  switch (kind) {
+    case PlacementKind::kRedundantShare: return "redundant-share";
+    case PlacementKind::kFastRedundantShare: return "fast-redundant-share";
+    case PlacementKind::kTrivial: return "trivial";
+    case PlacementKind::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+std::optional<PlacementKind> parse_placement_kind(
+    std::string_view name) noexcept {
+  if (name == "redundant-share" || name == "rs") {
+    return PlacementKind::kRedundantShare;
+  }
+  if (name == "fast-redundant-share" || name == "fast") {
+    return PlacementKind::kFastRedundantShare;
+  }
+  if (name == "trivial") return PlacementKind::kTrivial;
+  if (name == "round-robin" || name == "rr") return PlacementKind::kRoundRobin;
+  return std::nullopt;
+}
+
+}  // namespace rds

@@ -1,0 +1,42 @@
+// The one place a replication strategy is constructed from a kind tag.
+//
+// Every layer that lets a caller pick a placement algorithm by name or enum
+// (VirtualDisk, StoragePool, rds_cli, benches, examples) goes through
+// make_replication_strategy() -- adding a strategy means adding one enum
+// value and one case here, and every consumer picks it up.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/placement/strategy.hpp"
+
+namespace rds {
+
+/// Which placement strategy backs a disk / volume / CLI run.
+enum class PlacementKind {
+  kRedundantShare,      ///< the paper's strategy, O(n k) per access
+  kFastRedundantShare,  ///< Section 3.3 variant, O(k log n) per access
+  kTrivial,             ///< k independent draws (for comparison only)
+  kRoundRobin,          ///< static striping baseline
+};
+
+/// Constructs the strategy for `kind` over a cluster snapshot with
+/// replication degree k.  Throws std::invalid_argument for parameters the
+/// strategy rejects (k == 0, k > cluster size) and std::logic_error for an
+/// out-of-range kind value (corrupt snapshot byte, casted integer).
+[[nodiscard]] std::unique_ptr<ReplicationStrategy> make_replication_strategy(
+    PlacementKind kind, const ClusterConfig& config, unsigned k);
+
+/// Canonical spelling, also accepted by parse_placement_kind().
+[[nodiscard]] std::string_view to_string(PlacementKind kind) noexcept;
+
+/// Parses a kind name: canonical spellings ("redundant-share",
+/// "fast-redundant-share", "trivial", "round-robin") plus the short CLI
+/// aliases ("rs", "fast", "rr").  nullopt for anything else.
+[[nodiscard]] std::optional<PlacementKind> parse_placement_kind(
+    std::string_view name) noexcept;
+
+}  // namespace rds

@@ -6,7 +6,28 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/core/fast_redundant_share.hpp"
+#include "src/core/redundant_share.hpp"
+
 namespace rds {
+
+std::vector<double> usable_capacities(const ReplicationStrategy& strategy,
+                                      const ClusterConfig& config) {
+  if (const auto* rs = dynamic_cast<const RedundantShare*>(&strategy)) {
+    const std::span<const double> a = rs->adjusted_capacities();
+    return {a.begin(), a.end()};
+  }
+  if (const auto* fast =
+          dynamic_cast<const FastRedundantShare*>(&strategy)) {
+    return fast->tables().caps;
+  }
+  std::vector<double> caps;
+  caps.reserve(config.size());
+  for (std::size_t i = 0; i < config.size(); ++i) {
+    caps.push_back(static_cast<double>(config[i].capacity));
+  }
+  return caps;
+}
 
 FairnessReport fairness_report(const ClusterConfig& config,
                                std::span<const double> adjusted,

@@ -40,4 +40,12 @@ struct FairnessReport {
                                              std::span<const double> adjusted,
                                              const BlockMap& map);
 
+/// The usable capacities b'_i of `strategy` over `config`, canonical order.
+/// Strategies that adjust device weights (Redundant Share's b-tilde,
+/// Algorithm 1) report the adjusted values; everything else falls back to
+/// the raw capacities -- exactly what fairness_report() expects as its
+/// `adjusted` argument for that strategy.
+[[nodiscard]] std::vector<double> usable_capacities(
+    const ReplicationStrategy& strategy, const ClusterConfig& config);
+
 }  // namespace rds

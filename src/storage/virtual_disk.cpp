@@ -3,11 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "src/core/fast_redundant_share.hpp"
-#include "src/core/redundant_share.hpp"
 #include "src/metrics/scoped_timer.hpp"
-#include "src/placement/static_placement.hpp"
-#include "src/placement/trivial_replication.hpp"
 #include "src/util/hash.hpp"
 
 namespace rds {
@@ -22,6 +18,7 @@ VirtualDisk::VirtualDisk(ClusterConfig config,
     stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
   }
   init_metrics();
+  publish_epoch();
 }
 
 VirtualDisk::VirtualDisk(
@@ -40,6 +37,7 @@ VirtualDisk::VirtualDisk(
   }
   strategy_ = make_strategy(config_);
   init_metrics();
+  publish_epoch();
 }
 
 void VirtualDisk::init_metrics() {
@@ -83,18 +81,27 @@ void VirtualDisk::publish_device_gauges() const {
 
 std::unique_ptr<ReplicationStrategy> VirtualDisk::make_strategy(
     const ClusterConfig& config) const {
-  const unsigned k = scheme_->fragment_count();
-  switch (kind_) {
-    case PlacementKind::kRedundantShare:
-      return std::make_unique<RedundantShare>(config, k);
-    case PlacementKind::kFastRedundantShare:
-      return std::make_unique<FastRedundantShare>(config, k);
-    case PlacementKind::kTrivial:
-      return std::make_unique<TrivialReplication>(config, k);
-    case PlacementKind::kRoundRobin:
-      return std::make_unique<RoundRobinStriping>(config, k);
-  }
-  throw std::logic_error("VirtualDisk: unknown placement kind");
+  return make_replication_strategy(kind_, config, scheme_->fragment_count());
+}
+
+void VirtualDisk::publish_epoch() {
+  auto epoch = std::make_shared<PlacementEpoch>();
+  epoch->config = config_;
+  epoch->strategy = strategy_;
+  epoch->epoch = ++epoch_counter_;
+  published_.store(std::move(epoch));
+}
+
+std::shared_ptr<const PlacementEpoch> VirtualDisk::placement_snapshot()
+    const noexcept {
+  return published_.load();
+}
+
+std::uint64_t VirtualDisk::place(std::uint64_t block,
+                                 std::span<DeviceId> out) const {
+  const std::shared_ptr<const PlacementEpoch> epoch = published_.load();
+  epoch->strategy->place(block, out);
+  return epoch->epoch;
 }
 
 std::uint64_t VirtualDisk::checksum(
@@ -123,9 +130,14 @@ const ReplicationStrategy& VirtualDisk::strategy_for(
   return *strategy_;
 }
 
-void VirtualDisk::write(std::uint64_t block,
-                        std::span<const std::uint8_t> data) {
-  std::vector<Bytes> fragments = scheme_->encode(data);
+Result<void> VirtualDisk::try_write(std::uint64_t block,
+                                    std::span<const std::uint8_t> data) {
+  std::vector<Bytes> fragments;
+  try {
+    fragments = scheme_->encode(data);
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  }
   metrics::ScopedTimer placement_span(*placement_latency_ns_);
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
   placement_span.stop();
@@ -141,10 +153,22 @@ void VirtualDisk::write(std::uint64_t block,
     }
   }
   for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
-    store_fragment(targets[j], block, j, std::move(fragments[j]));
+    try {
+      store_fragment(targets[j], block, j, std::move(fragments[j]));
+    } catch (const std::runtime_error& e) {
+      // Device full or crashed.  Fragments stored before the failure stay
+      // (same partial state the throwing path always left).
+      return Error{ErrorCode::kIoError, e.what()};
+    }
     ++stats_.fragments_written;
   }
   blocks_[block] = data.size();
+  return {};
+}
+
+void VirtualDisk::write(std::uint64_t block,
+                        std::span<const std::uint8_t> data) {
+  try_write(block, data).value_or_throw();
 }
 
 std::vector<std::optional<Bytes>> VirtualDisk::gather_fragments(
@@ -167,10 +191,10 @@ std::vector<std::optional<Bytes>> VirtualDisk::gather_fragments(
   return fragments;
 }
 
-std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
+Result<std::vector<std::uint8_t>> VirtualDisk::try_read(std::uint64_t block) {
   const auto size_it = blocks_.find(block);
   if (size_it == blocks_.end()) {
-    throw std::out_of_range("VirtualDisk: block never written");
+    return Error{ErrorCode::kNotFound, "VirtualDisk: block never written"};
   }
   metrics::ScopedTimer placement_span(*placement_latency_ns_);
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
@@ -181,7 +205,7 @@ std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
   const auto present = static_cast<unsigned>(std::ranges::count_if(
       fragments, [](const auto& f) { return f.has_value(); }));
   if (present < scheme_->min_fragments()) {
-    throw std::runtime_error("VirtualDisk: block unrecoverable");
+    return Error{ErrorCode::kUnrecoverable, "VirtualDisk: block unrecoverable"};
   }
   if (present < scheme_->fragment_count()) {
     ++stats_.degraded_reads;
@@ -192,9 +216,15 @@ std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
   return scheme_->decode(fragments, size_it->second);
 }
 
-bool VirtualDisk::trim(std::uint64_t block) {
+std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
+  return try_read(block).value_or_throw();
+}
+
+Result<void> VirtualDisk::try_trim(std::uint64_t block) {
   const auto it = blocks_.find(block);
-  if (it == blocks_.end()) return false;
+  if (it == blocks_.end()) {
+    return Error{ErrorCode::kNotFound, "VirtualDisk: block never written"};
+  }
   const std::vector<DeviceId> targets = strategy_for(block).place(block);
   for (unsigned j = 0; j < scheme_->fragment_count(); ++j) {
     const auto store = stores_.find(targets[j]);
@@ -206,13 +236,30 @@ bool VirtualDisk::trim(std::uint64_t block) {
   }
   blocks_.erase(it);
   pending_.erase(block);
-  return true;
+  return {};
+}
+
+bool VirtualDisk::trim(std::uint64_t block) {
+  const Result<void> result = try_trim(block);
+  if (result.ok()) return true;
+  if (result.code() == ErrorCode::kNotFound) return false;
+  throw_error(result.error());
+}
+
+Result<void> VirtualDisk::try_add_device(const Device& device) {
+  ClusterConfig next = config_;
+  try {
+    next.add_device(device);  // validates (duplicate uid, zero capacity, ...)
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  }
+  Result<std::size_t> migrated = apply_config(std::move(next));
+  if (!migrated.ok()) return migrated.error();
+  return {};
 }
 
 void VirtualDisk::add_device(const Device& device) {
-  ClusterConfig next = config_;
-  next.add_device(device);
-  migrate_to(std::move(next));  // begin_reshape creates the new store
+  try_add_device(device).value_or_throw();
 }
 
 void VirtualDisk::attach_device(const Device& device,
@@ -227,19 +274,25 @@ void VirtualDisk::attach_device(const Device& device,
   migrate_to(std::move(next));
 }
 
-void VirtualDisk::remove_device(DeviceId uid) {
+Result<void> VirtualDisk::try_remove_device(DeviceId uid) {
   const auto it = stores_.find(uid);
   if (it == stores_.end()) {
-    throw std::out_of_range("VirtualDisk: unknown device");
+    return Error{ErrorCode::kNotFound, "VirtualDisk: unknown device"};
   }
   if (it->second->failed()) {
-    throw std::invalid_argument(
-        "VirtualDisk: use rebuild() for failed devices");
+    return Error{ErrorCode::kInvalidArgument,
+                 "VirtualDisk: use rebuild() for failed devices"};
   }
   ClusterConfig next = config_;
   next.remove_device(uid);
-  migrate_to(std::move(next));
+  Result<std::size_t> migrated = apply_config(std::move(next));
+  if (!migrated.ok()) return migrated.error();
   stores_.erase(uid);
+  return {};
+}
+
+void VirtualDisk::remove_device(DeviceId uid) {
+  try_remove_device(uid).value_or_throw();
 }
 
 void VirtualDisk::fail_device(DeviceId uid) {
@@ -271,21 +324,29 @@ std::uint64_t VirtualDisk::rebuild() {
   return stats_.fragments_rebuilt - rebuilt_before;
 }
 
-std::size_t VirtualDisk::begin_reshape(ClusterConfig next) {
+Result<std::size_t> VirtualDisk::try_begin_reshape(ClusterConfig next) {
   if (reshaping()) {
-    throw std::runtime_error("VirtualDisk: reshape already in progress");
+    return Error{ErrorCode::kReshapeInProgress,
+                 "VirtualDisk: reshape already in progress"};
   }
   // A failed device must not be a migration target: callers rebuild() before
   // reshaping a degraded pool.
   for (const Device& d : next.devices()) {
     const auto it = stores_.find(d.uid);
     if (it != stores_.end() && it->second->failed()) {
-      throw std::runtime_error(
-          "VirtualDisk: rebuild() required before migrating a degraded pool");
+      return Error{
+          ErrorCode::kDeviceFailed,
+          "VirtualDisk: rebuild() required before migrating a degraded pool"};
     }
   }
+  std::unique_ptr<ReplicationStrategy> next_strategy;
+  try {
+    next_strategy = make_strategy(next);
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  }
   topology_events_total_->inc();
-  next_strategy_ = make_strategy(next);
+  next_strategy_ = std::move(next_strategy);
   for (const Device& d : next.devices()) {
     if (!stores_.contains(d.uid)) stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
   }
@@ -294,6 +355,10 @@ std::size_t VirtualDisk::begin_reshape(ClusterConfig next) {
   pending_.reserve(blocks_.size());
   for (const auto& [block, size] : blocks_) pending_.insert(block);
   return pending_.size();
+}
+
+std::size_t VirtualDisk::begin_reshape(ClusterConfig next) {
+  return try_begin_reshape(std::move(next)).value_or_throw();
 }
 
 void VirtualDisk::reshape_block(std::uint64_t block) {
@@ -347,21 +412,30 @@ std::size_t VirtualDisk::step_reshape(std::size_t max_blocks) {
     ++processed;
   }
   if (pending_.empty()) {
-    // Commit the new topology.
+    // Commit the new topology and atomically publish the new epoch:
+    // concurrent place() calls flip from the old (strategy, config) pair to
+    // the new one in a single step.
     config_ = std::move(next_config_);
     strategy_ = std::move(next_strategy_);
     next_strategy_.reset();
     next_config_ = ClusterConfig{};
+    publish_epoch();
   }
   return processed;
 }
 
-void VirtualDisk::migrate_to(ClusterConfig next) {
-  begin_reshape(std::move(next));
+Result<std::size_t> VirtualDisk::apply_config(ClusterConfig next) {
+  Result<std::size_t> begun = try_begin_reshape(std::move(next));
+  if (!begun.ok()) return begun;
   while (!pending_.empty()) {
     step_reshape(1024);
   }
   step_reshape(1);  // commit when the pool held no blocks at all
+  return begun;
+}
+
+void VirtualDisk::migrate_to(ClusterConfig next) {
+  apply_config(std::move(next)).value_or_throw();
 }
 
 std::uint64_t VirtualDisk::repair() {

@@ -6,6 +6,13 @@
 // devices.  Growing, shrinking, or losing devices triggers a migration that
 // moves only the fragments the placement diff says must move; lost fragments
 // are rebuilt from the surviving ones through the scheme.
+//
+// Concurrency model (docs/api.md, "Concurrency guarantees"): block I/O and
+// topology mutations are single-writer -- one thread at a time.  Placement
+// lookups (place(), placement_snapshot()) are lock-free and may run from any
+// number of threads concurrently with that writer: they read an immutable
+// PlacementEpoch published by shared_ptr-RCU, so every lookup sees one
+// consistent (strategy, config) pair even in the middle of apply_config.
 #pragma once
 
 #include <cstdint>
@@ -18,21 +25,27 @@
 #include <vector>
 
 #include "src/cluster/cluster_config.hpp"
+#include "src/core/result.hpp"
 #include "src/metrics/registry.hpp"
 #include "src/placement/strategy.hpp"
+#include "src/placement/strategy_factory.hpp"  // PlacementKind (moved there)
 #include "src/storage/device_store.hpp"
 #include "src/storage/redundancy_scheme.hpp"
+#include "src/util/rcu.hpp"
 
 namespace rds {
 
 class Snapshot;
 
-/// Which placement strategy backs the disk.
-enum class PlacementKind {
-  kRedundantShare,      ///< the paper's strategy, O(n k) per access
-  kFastRedundantShare,  ///< Section 3.3 variant, O(k log n) per access
-  kTrivial,             ///< k independent draws (for comparison only)
-  kRoundRobin,          ///< static striping baseline
+/// Immutable (strategy, config) pair concurrent readers place against.
+/// Published atomically by VirtualDisk on every committed topology change;
+/// a reader holding a snapshot keeps the whole pair alive, so placements
+/// and config lookups within one snapshot are always mutually consistent
+/// even while a swap is in flight.
+struct PlacementEpoch {
+  ClusterConfig config;
+  std::shared_ptr<const ReplicationStrategy> strategy;
+  std::uint64_t epoch = 0;  ///< install counter, strictly increasing
 };
 
 class VirtualDisk {
@@ -72,16 +85,41 @@ class VirtualDisk {
               std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>>
                   stores);
 
+  // --- Fallible operations, Result form (error taxonomy: docs/api.md) ---
+  //
+  // The try_* family is the primary interface: every failure comes back as
+  // an (ErrorCode, message) pair instead of the historical mix of bools and
+  // exception types.  The legacy names below each one are thin throwing
+  // wrappers (value_or_throw) kept for existing call sites.
+
+  /// Stores a logical block.  kInvalidArgument when the payload does not
+  /// fit the fragment budget, kIoError when a device store rejects a
+  /// fragment (full / crashed) -- in that case fragments written before the
+  /// failure remain, exactly as the throwing path always behaved.
+  Result<void> try_write(std::uint64_t block,
+                         std::span<const std::uint8_t> data);
+
+  /// Reads a block back, reconstructing around failed devices.  kNotFound
+  /// for never-written blocks, kUnrecoverable when too few fragments
+  /// survive.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> try_read(
+      std::uint64_t block);
+
+  /// Discards a block: removes its fragments from every device.  kNotFound
+  /// when the block was never written.
+  Result<void> try_trim(std::uint64_t block);
+
   /// Stores a logical block (any length that fits the fragment budget).
+  /// Throwing wrapper over try_write.
   void write(std::uint64_t block, std::span<const std::uint8_t> data);
 
   /// Reads a logical block back, reconstructing around failed devices.
   /// Throws std::out_of_range for never-written blocks, std::runtime_error
-  /// when too many fragments are lost.
+  /// when too many fragments are lost.  Throwing wrapper over try_read.
   [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block);
 
   /// Discards a block: removes its fragments from every device.  Returns
-  /// whether the block existed.
+  /// whether the block existed.  Wrapper over try_trim.
   bool trim(std::uint64_t block);
 
   [[nodiscard]] bool contains(std::uint64_t block) const {
@@ -91,7 +129,31 @@ class VirtualDisk {
     return blocks_.size();
   }
 
-  /// Adds a device and migrates the fragments the new placement assigns it.
+  // --- Concurrent placement (lock-free reads, atomic strategy swap) ---
+
+  /// The committed placement epoch: one wait-free shared_ptr load.  Safe
+  /// from any thread at any time, including while apply_config / a reshape
+  /// commit installs a successor.
+  [[nodiscard]] std::shared_ptr<const PlacementEpoch> placement_snapshot()
+      const noexcept;
+
+  /// Places `block` under the current committed epoch (lock-free; safe
+  /// concurrently with one topology-mutating thread).  Fills `out`
+  /// (size == k) and returns the epoch id the placement came from.
+  std::uint64_t place(std::uint64_t block, std::span<DeviceId> out) const;
+
+  /// Migrates data to `next` (validate, reshape, drain) and atomically
+  /// installs the new (strategy, config) epoch; concurrent place() calls
+  /// see either the old pair or the new pair, never a mix.  Returns the
+  /// number of blocks re-examined.  kReshapeInProgress if a reshape is in
+  /// flight, kDeviceFailed if a failed device would remain in `next`,
+  /// kInvalidArgument for configs the strategy rejects.  Mutations stay
+  /// single-writer: call from one thread at a time.
+  Result<std::size_t> apply_config(ClusterConfig next);
+
+  /// Adds a device and migrates the fragments the new placement assigns
+  /// it.  Result form + throwing wrapper.
+  Result<void> try_add_device(const Device& device);
   void add_device(const Device& device);
 
   /// Pool mode: adds a device backed by an existing (shared) store and
@@ -101,13 +163,18 @@ class VirtualDisk {
                      std::shared_ptr<DeviceStore> store);
 
   /// Gracefully removes a healthy device, migrating its data away first.
+  /// kNotFound for unknown uids, kInvalidArgument for failed devices (use
+  /// rebuild()).  Result form + throwing wrapper.
+  Result<void> try_remove_device(DeviceId uid);
   void remove_device(DeviceId uid);
 
   /// Incremental reshaping: starts migrating toward `next` without blocking.
   /// Returns the number of blocks that still need re-placement.  While a
   /// reshape is in flight, reads and writes work normally (each block is
   /// served from wherever it currently lives); further topology operations
-  /// are rejected until the reshape drains.
+  /// are rejected until the reshape drains (kReshapeInProgress).  Result
+  /// form + throwing wrapper.
+  Result<std::size_t> try_begin_reshape(ClusterConfig next);
   std::size_t begin_reshape(ClusterConfig next);
 
   /// Migrates up to `max_blocks` pending blocks; returns how many were
@@ -176,8 +243,12 @@ class VirtualDisk {
       const ClusterConfig& config) const;
 
   /// Re-places every block under `next` and moves/rebuilds fragments
-  /// (begin_reshape + drain).
+  /// (apply_config, throwing form).
   void migrate_to(ClusterConfig next);
+
+  /// Copies the committed (config_, strategy_) pair into a fresh epoch and
+  /// installs it with one atomic store.  Owner thread only.
+  void publish_epoch();
 
   /// The strategy that currently governs `block` (old placement while the
   /// block awaits reshaping, the target placement otherwise).
@@ -210,7 +281,12 @@ class VirtualDisk {
   std::shared_ptr<RedundancyScheme> scheme_;
   PlacementKind kind_;
   std::uint32_t volume_id_ = 0;
-  std::unique_ptr<ReplicationStrategy> strategy_;
+  // Committed strategy, shared with the published epoch so concurrent
+  // readers keep it alive across a swap.  `config_`/`strategy_` are the
+  // owner thread's view; `published_` is the RCU snapshot readers load.
+  std::shared_ptr<const ReplicationStrategy> strategy_;
+  RcuCell<PlacementEpoch> published_;
+  std::uint64_t epoch_counter_ = 0;
   std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_;
   std::unordered_map<std::uint64_t, std::size_t> blocks_;  // block -> size
   std::unordered_map<FragmentKey, std::uint64_t, FragmentKeyHash> checksums_;

@@ -1,0 +1,52 @@
+// Minimal shared_ptr-RCU cell: readers take an immutable snapshot with one
+// atomic load, a writer publishes a replacement with one atomic store, and
+// the old snapshot stays alive until its last reader drops it -- classic
+// epoch semantics with shared_ptr reference counts standing in for grace
+// periods.
+//
+// load()/store()/exchange() are safe from any thread.  Move construction /
+// assignment exist so owning objects (VirtualDisk) stay movable and are NOT
+// thread-safe: only move a cell while no other thread touches either side.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace rds {
+
+template <typename T>
+class RcuCell {
+ public:
+  RcuCell() = default;
+  explicit RcuCell(std::shared_ptr<const T> initial) noexcept
+      : cell_(std::move(initial)) {}
+
+  RcuCell(RcuCell&& other) noexcept : cell_(other.cell_.load()) {}
+  RcuCell& operator=(RcuCell&& other) noexcept {
+    cell_.store(other.cell_.load());
+    return *this;
+  }
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  /// Current snapshot (may be null before the first store).
+  [[nodiscard]] std::shared_ptr<const T> load() const noexcept {
+    return cell_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes `next`; readers holding the old snapshot keep it alive.
+  void store(std::shared_ptr<const T> next) noexcept {
+    cell_.store(std::move(next), std::memory_order_release);
+  }
+
+  /// Publishes `next` and returns the snapshot it replaced.
+  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next) noexcept {
+    return cell_.exchange(std::move(next), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const T>> cell_;
+};
+
+}  // namespace rds

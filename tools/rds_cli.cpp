@@ -45,8 +45,11 @@
 #include <iostream>
 #include <limits>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
@@ -55,6 +58,8 @@
 #include "src/core/loss_analysis.hpp"
 #include "src/core/redundant_share.hpp"
 #include "src/metrics/registry.hpp"
+#include "src/placement/batch_placer.hpp"
+#include "src/placement/strategy_factory.hpp"
 #include "src/sim/op_trace.hpp"
 #include "src/storage/erasure/evenodd.hpp"
 #include "src/storage/erasure/rdp.hpp"
@@ -83,6 +88,11 @@ using namespace rds;
       << "  --script FILE     operation trace for `simulate`\n"
       << "  --scheme S        redundancy for `simulate`: mirror:K, rs:D+P,\n"
       << "                    evenodd:P, rdp:P (default mirror:2)\n"
+      << "  --strategy S      placement strategy: redundant-share (rs),\n"
+      << "                    fast-redundant-share (fast), trivial,\n"
+      << "                    round-robin (rr); default redundant-share\n"
+      << "  --threads N       worker threads for place/fairness/stats\n"
+      << "                    (default 1; 0 = all hardware threads)\n"
       << "  --metrics-out F   write a JSON metrics snapshot to F on exit\n";
   std::exit(2);
 }
@@ -143,12 +153,25 @@ struct Args {
   std::string script;
   std::string scheme = "mirror:2";
   std::string metrics_out;
+  PlacementKind strategy = PlacementKind::kRedundantShare;
   unsigned k = 2;
   unsigned need = 1;
+  unsigned threads = 1;
   std::uint64_t address = 0;
   std::uint64_t count = 1;
   std::uint64_t balls = 100'000;
 };
+
+std::unique_ptr<ReplicationStrategy> make_strategy(const Args& args,
+                                                   const ClusterConfig& cfg) {
+  return make_replication_strategy(args.strategy, cfg, args.k);
+}
+
+unsigned effective_threads(const Args& args) {
+  if (args.threads != 0) return args.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 std::shared_ptr<RedundancyScheme> parse_scheme(const std::string& spec) {
   const std::size_t colon = spec.find(':');
@@ -204,6 +227,14 @@ Args parse(int argc, char** argv) {
   if (const std::string v = get("--metrics-out"); !v.empty()) {
     args.metrics_out = v;
   }
+  if (const std::string v = get("--strategy"); !v.empty()) {
+    const std::optional<PlacementKind> kind = parse_placement_kind(v);
+    if (!kind) usage("unknown --strategy: " + v);
+    args.strategy = *kind;
+  }
+  if (const std::string v = get("--threads"); !v.empty()) {
+    args.threads = parse_u32("--threads", v);
+  }
   if (const std::string v = get("--k"); !v.empty()) {
     args.k = parse_u32("--k", v);
   }
@@ -246,13 +277,18 @@ int cmd_analyze(const Args& args) {
 
 int cmd_place(const Args& args) {
   const ClusterConfig config = config_from(args.caps);
-  const RedundantShare strategy(config, args.k);
+  const auto strategy = make_strategy(args, config);
+  // One batch through the placer, even for --count 1: with --threads 1 the
+  // batch runs inline on this thread, with more it fans out.
+  std::vector<std::uint64_t> addresses(args.count);
+  std::iota(addresses.begin(), addresses.end(), args.address);
+  std::vector<DeviceId> copies(args.count * args.k);
+  BatchPlacer placer(effective_threads(args));
+  placer.place(*strategy, addresses, copies);
   for (std::uint64_t i = 0; i < args.count; ++i) {
-    const std::uint64_t address = args.address + i;
-    const std::vector<DeviceId> copies = strategy.place(address);
-    std::cout << "ball " << address << " ->";
+    std::cout << "ball " << addresses[i] << " ->";
     for (unsigned j = 0; j < args.k; ++j) {
-      std::cout << " copy" << j << "=disk-" << copies[j];
+      std::cout << " copy" << j << "=disk-" << copies[i * args.k + j];
     }
     std::cout << '\n';
   }
@@ -261,11 +297,13 @@ int cmd_place(const Args& args) {
 
 int cmd_fairness(const Args& args) {
   const ClusterConfig config = config_from(args.caps);
-  const RedundantShare strategy(config, args.k);
-  const BlockMap map(strategy, args.balls);
+  const auto strategy = make_strategy(args, config);
+  const BlockMap map =
+      BlockMap::build_parallel(*strategy, args.balls, effective_threads(args));
   const FairnessReport report =
-      fairness_report(config, strategy.adjusted_capacities(), map);
-  report.print(std::cout, std::to_string(args.balls) + " balls, k = " +
+      fairness_report(config, usable_capacities(*strategy, config), map);
+  report.print(std::cout, std::string(to_string(args.strategy)) + ", " +
+                              std::to_string(args.balls) + " balls, k = " +
                               std::to_string(args.k));
   return 0;
 }
@@ -274,10 +312,10 @@ int cmd_migrate(const Args& args) {
   if (args.to_caps.empty()) usage("migrate requires --to-caps");
   const ClusterConfig before = config_from(args.caps);
   const ClusterConfig after = config_from(args.to_caps);
-  const RedundantShare sb(before, args.k);
-  const RedundantShare sa(after, args.k);
+  const auto sb = make_strategy(args, before);
+  const auto sa = make_strategy(args, after);
   const MovementReport r =
-      diff_placements(BlockMap(sb, args.balls), BlockMap(sa, args.balls));
+      diff_placements(BlockMap(*sb, args.balls), BlockMap(*sa, args.balls));
   std::cout << "balls:                " << args.balls << '\n'
             << "total copies:         " << r.total_copies << '\n'
             << "replaced (mirroring): " << r.moved_set << "  ("
@@ -290,6 +328,9 @@ int cmd_migrate(const Args& args) {
 
 int cmd_loss(const Args& args) {
   if (args.failed.empty()) usage("loss requires --failed");
+  if (args.strategy != PlacementKind::kRedundantShare) {
+    usage("loss analysis is exact only for --strategy redundant-share");
+  }
   const ClusterConfig config = config_from(args.caps);
   const RedundantShare strategy(config, args.k);
   const std::vector<DeviceId> failed(args.failed.begin(), args.failed.end());
@@ -334,8 +375,9 @@ int cmd_simulate(const Args& args) {
 
 int cmd_stats(const Args& args) {
   const ClusterConfig config = config_from(args.caps);
-  const RedundantShare strategy(config, args.k);
-  const BlockMap map(strategy, args.balls);
+  const auto strategy = make_strategy(args, config);
+  const BlockMap map =
+      BlockMap::build_parallel(*strategy, args.balls, effective_threads(args));
   metrics::Registry& reg = metrics::Registry::global();
   for (const auto& [uid, fragments] : map.device_counts()) {
     reg.gauge("rds_device_fragments",
