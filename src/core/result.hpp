@@ -82,9 +82,13 @@ class [[nodiscard]] Result {
   [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
   explicit operator bool() const noexcept { return ok(); }
 
-  /// The value; undefined unless ok().
+  /// The value; undefined unless ok().  The unchecked dereference IS the
+  /// contract (callers branch on ok() first), hence the NOLINTs.
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
   [[nodiscard]] const T& value() const& { return *value_; }
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
   [[nodiscard]] T& value() & { return *value_; }
+  // NOLINTNEXTLINE(bugprone-unchecked-optional-access)
   [[nodiscard]] T&& take() && { return std::move(*value_); }
 
   /// The error; undefined when ok().
@@ -97,7 +101,7 @@ class [[nodiscard]] Result {
   /// legacy throwing wrappers use).
   T value_or_throw() && {
     if (!ok()) throw_error(error_);
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
  private:

@@ -31,9 +31,15 @@ class Gauge {
 
   /// Raises the gauge to `v` if it is currently below (peak tracking).
   void set_max(std::int64_t v) noexcept {
+    // Both CAS orders relaxed, spelled out: a peak is a monotonic scalar
+    // with no payload published alongside it, so no acquire/release pairing
+    // exists to establish -- same discipline as every other op here.  The
+    // failure order is named too so the intent (not an accidental seq_cst
+    // default) is explicit and machine-checked by rds_lint.
     std::int64_t cur = value_.load(std::memory_order_relaxed);
-    while (cur < v && !value_.compare_exchange_weak(
-                          cur, v, std::memory_order_relaxed)) {
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
     }
   }
 

@@ -72,14 +72,18 @@ class LatencyHistogram {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     // Peak/floor tracking; the CAS loops exit on the first load except under
-    // a genuinely new extreme.
+    // a genuinely new extreme.  Relaxed on success AND failure (spelled out
+    // for rds_lint): extremes are standalone scalars, nothing is published
+    // through them, so no ordering stronger than atomicity is needed.
     std::uint64_t cur = min_.load(std::memory_order_relaxed);
     while (value < cur &&
-           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
     }
     cur = max_.load(std::memory_order_relaxed);
     while (value > cur &&
-           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
     }
   }
 

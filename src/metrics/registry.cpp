@@ -54,7 +54,7 @@ Registry& Registry::global() {
 Registry::Instrument& Registry::instrument(std::string_view name,
                                            Labels labels, MetricType type) {
   std::ranges::sort(labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto fam = families_.find(name);
   Family* family;
   if (fam == families_.end()) {
@@ -100,7 +100,7 @@ LatencyHistogram& Registry::histogram(std::string_view name, Labels labels) {
 }
 
 Snapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, family] : families_) {
     for (const auto& [key, inst] : family.children) {
@@ -126,7 +126,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, family] : families_) {
     for (auto& [key, inst] : family.children) {
       if (inst.counter) inst.counter->reset();

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -27,6 +26,8 @@
 #include "src/metrics/counter.hpp"
 #include "src/metrics/gauge.hpp"
 #include "src/metrics/latency_histogram.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace rds::metrics {
 
@@ -68,16 +69,19 @@ class Registry {
 
   /// Finds or creates the instrument; throws std::invalid_argument when the
   /// name is already registered with a different metric type.
-  [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {});
-  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {});
+  [[nodiscard]] Counter& counter(std::string_view name, Labels labels = {})
+      RDS_EXCLUDES(mu_);
+  [[nodiscard]] Gauge& gauge(std::string_view name, Labels labels = {})
+      RDS_EXCLUDES(mu_);
   [[nodiscard]] LatencyHistogram& histogram(std::string_view name,
-                                            Labels labels = {});
+                                            Labels labels = {})
+      RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] Snapshot snapshot() const RDS_EXCLUDES(mu_);
 
   /// Zeroes every registered instrument (tests, bench warm-up).  Metrics
   /// stay registered; references stay valid.
-  void reset();
+  void reset() RDS_EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -92,10 +96,10 @@ class Registry {
   };
 
   [[nodiscard]] Instrument& instrument(std::string_view name, Labels labels,
-                                       MetricType type);
+                                       MetricType type) RDS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family, std::less<>> families_;
+  mutable rds::Mutex mu_;
+  std::map<std::string, Family, std::less<>> families_ RDS_GUARDED_BY(mu_);
 };
 
 /// JSON document for a snapshot (schema in docs/metrics.md).

@@ -26,7 +26,7 @@ BatchPlacer::BatchPlacer(unsigned threads) {
 
 BatchPlacer::~BatchPlacer() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
   work_cv_.notify_all();
@@ -44,7 +44,7 @@ void BatchPlacer::run_chunks(Batch& batch) {
         {batch.out + begin * batch.k, (end - begin) * batch.k});
     if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch.chunk_count) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       done_cv_.notify_all();
     }
   }
@@ -52,11 +52,13 @@ void BatchPlacer::run_chunks(Batch& batch) {
 
 void BatchPlacer::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this, seen] {
-      return stopping_ || (batch_ != nullptr && generation_ != seen);
-    });
+    // Explicit wait loop (not a predicate lambda) so the thread-safety
+    // analysis sees the guarded reads under the held lock.
+    while (!stopping_ && !(batch_ != nullptr && generation_ != seen)) {
+      work_cv_.wait(lock);
+    }
     if (stopping_) return;
     seen = generation_;
     const std::shared_ptr<Batch> batch = batch_;
@@ -79,36 +81,44 @@ void BatchPlacer::place(const ReplicationStrategy& strategy,
   inflight_->add(1);
   metrics::ScopedTimer batch_span(*batch_latency_ns_);
 
-  if (workers_.empty()) {
-    strategy.place_many(addresses, out);
-  } else {
-    auto batch = std::make_shared<Batch>();
-    batch->strategy = &strategy;
-    batch->addresses = addresses.data();
-    batch->out = out.data();
-    batch->count = addresses.size();
-    batch->k = k;
-    // Chunks well past the thread count so a straggler core cannot stall
-    // the batch, but large enough that the fetch_add is noise.
-    batch->chunk = std::max<std::size_t>(
-        256, addresses.size() / (std::size_t{thread_count()} * 8));
-    batch->chunk_count =
-        (batch->count + batch->chunk - 1) / batch->chunk;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      batch_ = batch;
-      ++generation_;
+  try {
+    if (workers_.empty()) {
+      strategy.place_many(addresses, out);
+    } else {
+      auto batch = std::make_shared<Batch>();
+      batch->strategy = &strategy;
+      batch->addresses = addresses.data();
+      batch->out = out.data();
+      batch->count = addresses.size();
+      batch->k = k;
+      // Chunks well past the thread count so a straggler core cannot stall
+      // the batch, but large enough that the fetch_add is noise.
+      batch->chunk = std::max<std::size_t>(
+          256, addresses.size() / (std::size_t{thread_count()} * 8));
+      batch->chunk_count =
+          (batch->count + batch->chunk - 1) / batch->chunk;
+      {
+        const MutexLock lock(mu_);
+        batch_ = batch;
+        ++generation_;
+      }
+      work_cv_.notify_all();
+      run_chunks(*batch);
+      {
+        MutexLock lock(mu_);
+        while (batch->done.load(std::memory_order_acquire) !=
+               batch->chunk_count) {
+          done_cv_.wait(lock);
+        }
+        batch_.reset();
+      }
     }
-    work_cv_.notify_all();
-    run_chunks(*batch);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [&batch] {
-        return batch->done.load(std::memory_order_acquire) ==
-               batch->chunk_count;
-      });
-      batch_.reset();
-    }
+  } catch (...) {
+    // A throwing strategy must not leave the in-flight gauge raised or
+    // record a bogus latency sample for a batch that never completed.
+    batch_span.cancel();
+    inflight_->sub(1);
+    throw;
   }
 
   // One metrics flush per batch, not per placement.

@@ -15,15 +15,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
 #include "src/placement/strategy.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace rds::metrics {
 class Counter;
@@ -53,7 +53,7 @@ class BatchPlacer {
   /// place_many(); blocks until the batch is complete.
   void place(const ReplicationStrategy& strategy,
              std::span<const std::uint64_t> addresses,
-             std::span<DeviceId> out);
+             std::span<DeviceId> out) RDS_EXCLUDES(mu_);
 
  private:
   struct Batch {
@@ -68,15 +68,18 @@ class BatchPlacer {
     std::atomic<std::size_t> done{0};
   };
 
-  void worker_loop();
-  void run_chunks(Batch& batch);
+  void worker_loop() RDS_EXCLUDES(mu_);
+  void run_chunks(Batch& batch) RDS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   ///< workers wait for a new batch
-  std::condition_variable done_cv_;   ///< caller waits for completion
-  std::shared_ptr<Batch> batch_;      ///< non-null while a batch is running
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar work_cv_;                   ///< workers wait for a new batch
+  CondVar done_cv_;                   ///< caller waits for completion
+  /// Non-null while a batch is running.
+  std::shared_ptr<Batch> batch_ RDS_GUARDED_BY(mu_);
+  std::uint64_t generation_ RDS_GUARDED_BY(mu_) = 0;
+  bool stopping_ RDS_GUARDED_BY(mu_) = false;
+  // Written by the constructor, joined by the destructor, sized by
+  // thread_count(): never mutated while workers run, so unguarded.
   std::vector<std::thread> workers_;
 
   // Registry-owned instruments, resolved once (see docs/metrics.md).

@@ -18,7 +18,7 @@ MigrationExecutor::MigrationExecutor(
     if (!store) {
       throw std::invalid_argument("MigrationExecutor: null store");
     }
-    locks_.emplace(uid, std::make_unique<std::mutex>());
+    locks_.try_emplace(uid);
   }
   metrics::Registry& reg = metrics::Registry::global();
   moves_total_ = &reg.counter("rds_migration_executor_moves_total");
@@ -46,7 +46,7 @@ MigrationExecutor::MoveOutcome MigrationExecutor::run_move(
     } else {
       std::optional<std::vector<std::uint8_t>> payload;
       {
-        const std::lock_guard<std::mutex> lock(lock_of(move.from));
+        const MutexLock lock(lock_of(move.from));
         payload = from.read(key);
       }
       if (!payload) {
@@ -56,13 +56,13 @@ MigrationExecutor::MoveOutcome MigrationExecutor::run_move(
         return MoveOutcome::kSkipped;
       }
       try {
-        const std::lock_guard<std::mutex> lock(lock_of(move.to));
+        const MutexLock lock(lock_of(move.to));
         to.write(key, std::move(*payload));
       } catch (const std::exception&) {
         failed = true;  // destination full or crashed: retry after backoff
       }
       if (!failed) {
-        const std::lock_guard<std::mutex> lock(lock_of(move.from));
+        const MutexLock lock(lock_of(move.from));
         from.erase(key);
         return MoveOutcome::kMoved;
       }
@@ -77,8 +77,9 @@ MigrationExecutor::MoveOutcome MigrationExecutor::run_move(
   return MoveOutcome::kFailed;
 }
 
-Result<MigrationReport> MigrationExecutor::execute(const MigrationPlan& plan,
-                                                   CancellationToken token) {
+Result<MigrationReport> MigrationExecutor::execute(
+    const MigrationPlan& plan,
+    CancellationToken token) {  // NOLINT(performance-unnecessary-value-param)
   if (opts_.max_in_flight == 0) {
     return Error{ErrorCode::kInvalidArgument,
                  "MigrationExecutor: max_in_flight must be at least 1"};
@@ -101,7 +102,7 @@ Result<MigrationReport> MigrationExecutor::execute(const MigrationPlan& plan,
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       opts_.max_in_flight, plan.moves.size()));
   std::atomic<std::size_t> next{0};
-  std::mutex merge_mu;
+  Mutex merge_mu;
 
   const auto drain = [&] {
     MigrationReport shard;
@@ -134,7 +135,7 @@ Result<MigrationReport> MigrationExecutor::execute(const MigrationPlan& plan,
       }
       inflight_->sub(1);
     }
-    const std::lock_guard<std::mutex> lock(merge_mu);
+    const MutexLock lock(merge_mu);
     report.moves_executed += shard.moves_executed;
     report.moves_skipped += shard.moves_skipped;
     report.moves_failed += shard.moves_failed;

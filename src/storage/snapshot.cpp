@@ -153,6 +153,7 @@ std::shared_ptr<DeviceStore> get_store(std::istream& in) {
 }  // namespace
 
 void Snapshot::put_volume_meta(std::ostream& out, const VirtualDisk& disk) {
+  const MutexLock lock(disk.mu_);
   put_u8(out, static_cast<std::uint8_t>(disk.kind_));
   put_u32(out, disk.volume_id_);
   put_string(out, disk.scheme_->name());
@@ -181,18 +182,24 @@ VirtualDisk Snapshot::get_volume_meta(
   ClusterConfig config = get_config(in);
   VirtualDisk disk(std::move(config), make_scheme_from_name(scheme_name),
                    kind, volume_id, std::move(stores));
-  const std::uint64_t blocks = get_u64(in);
-  for (std::uint64_t b = 0; b < blocks; ++b) {
-    const std::uint64_t block = get_u64(in);
-    disk.blocks_[block] = get_u64(in);
-  }
-  const std::uint64_t sums = get_u64(in);
-  for (std::uint64_t s = 0; s < sums; ++s) {
-    FragmentKey key;
-    key.block = get_u64(in);
-    key.fragment = get_u32(in);
-    key.volume = get_u32(in);
-    disk.checksums_[key] = get_u64(in);
+  {
+    // The disk is private to this function, but its block/checksum tables
+    // are lock-guarded members; take the lock so the access is provably
+    // consistent under the thread-safety analysis.
+    const MutexLock lock(disk.mu_);
+    const std::uint64_t blocks = get_u64(in);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t block = get_u64(in);
+      disk.blocks_[block] = get_u64(in);
+    }
+    const std::uint64_t sums = get_u64(in);
+    for (std::uint64_t s = 0; s < sums; ++s) {
+      FragmentKey key;
+      key.block = get_u64(in);
+      key.fragment = get_u32(in);
+      key.volume = get_u32(in);
+      disk.checksums_[key] = get_u64(in);
+    }
   }
   return disk;
 }
@@ -233,8 +240,12 @@ void Snapshot::save_disk(const VirtualDisk& disk, std::ostream& out) {
     throw std::runtime_error("Snapshot: drain the reshape before saving");
   }
   out.write(kDiskMagic, 8);
-  put_u32(out, static_cast<std::uint32_t>(disk.stores_.size()));
-  for (const auto& [uid, store] : disk.stores_) put_store(out, *store);
+  {
+    // Scoped: put_volume_meta takes the same (non-reentrant) lock.
+    const MutexLock lock(disk.mu_);
+    put_u32(out, static_cast<std::uint32_t>(disk.stores_.size()));
+    for (const auto& [uid, store] : disk.stores_) put_store(out, *store);
+  }
   put_volume_meta(out, disk);
   if (!out) throw std::runtime_error("Snapshot: write failed");
 }
@@ -252,6 +263,9 @@ VirtualDisk Snapshot::load_disk(std::istream& in) {
 }
 
 void Snapshot::save_pool(const StoragePool& pool, std::ostream& out) {
+  // Lock order pool -> volume: the per-disk sections below take each
+  // volume's own lock while the pool lock is held.
+  const MutexLock lock(pool.mu_);
   for (const auto& [name, disk] : pool.volumes_) {
     if (disk->reshaping()) {
       throw std::runtime_error("Snapshot: drain reshapes before saving");
@@ -284,16 +298,21 @@ StoragePool Snapshot::load_pool(std::istream& in) {
   }
 
   StoragePool pool{ClusterConfig{}};
-  pool.config_ = std::move(config);
-  pool.stores_ = std::move(stores);
-  pool.next_volume_id_ = next_volume_id;
+  {
+    // Same reasoning as get_volume_meta: the pool is local, its tables are
+    // guarded.
+    const MutexLock lock(pool.mu_);
+    pool.config_ = std::move(config);
+    pool.stores_ = std::move(stores);
+    pool.next_volume_id_ = next_volume_id;
 
-  const std::uint32_t n_volumes = get_u32(in);
-  for (std::uint32_t i = 0; i < n_volumes; ++i) {
-    std::string name = get_string(in);
-    pool.volumes_.emplace(
-        std::move(name),
-        std::make_unique<VirtualDisk>(get_volume_meta(in, pool.stores_)));
+    const std::uint32_t n_volumes = get_u32(in);
+    for (std::uint32_t i = 0; i < n_volumes; ++i) {
+      std::string name = get_string(in);
+      pool.volumes_.emplace(
+          std::move(name),
+          std::make_unique<VirtualDisk>(get_volume_meta(in, pool.stores_)));
+    }
   }
   return pool;
 }

@@ -15,6 +15,7 @@ StoragePool::StoragePool(ClusterConfig config) : config_(std::move(config)) {
 VirtualDisk& StoragePool::create_volume(
     const std::string& name, std::shared_ptr<RedundancyScheme> scheme,
     PlacementKind kind) {
+  const MutexLock lock(mu_);
   if (volumes_.contains(name)) {
     throw std::invalid_argument("StoragePool: duplicate volume " + name);
   }
@@ -27,6 +28,7 @@ VirtualDisk& StoragePool::create_volume(
 }
 
 VirtualDisk& StoragePool::volume(const std::string& name) {
+  const MutexLock lock(mu_);
   const auto it = volumes_.find(name);
   if (it == volumes_.end()) {
     throw std::out_of_range("StoragePool: unknown volume " + name);
@@ -35,6 +37,7 @@ VirtualDisk& StoragePool::volume(const std::string& name) {
 }
 
 std::vector<std::string> StoragePool::volume_names() const {
+  const MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(volumes_.size());
   for (const auto& [name, disk] : volumes_) names.push_back(name);
@@ -42,6 +45,7 @@ std::vector<std::string> StoragePool::volume_names() const {
 }
 
 bool StoragePool::drop_volume(const std::string& name) {
+  const MutexLock lock(mu_);
   const auto it = volumes_.find(name);
   if (it == volumes_.end()) return false;
   // Release the volume's fragments so the shared capacity is reusable.
@@ -52,10 +56,25 @@ bool StoragePool::drop_volume(const std::string& name) {
   return true;
 }
 
+void StoragePool::ensure_no_reshape() const {
+  for (const auto& [name, disk] : volumes_) {
+    if (disk->reshaping()) {
+      throw std::runtime_error("StoragePool: volume '" + name +
+                               "' has a reshape in flight; drain it before "
+                               "changing the pool topology");
+    }
+  }
+}
+
 void StoragePool::add_device(const Device& device) {
+  const MutexLock lock(mu_);
   if (config_.contains(device.uid)) {
     throw std::invalid_argument("StoragePool: duplicate device uid");
   }
+  // Check every volume up front: attach_device throws on a reshaping
+  // volume, and discovering that mid-loop would leave the volumes before
+  // it migrated onto the device and the rest not.
+  ensure_no_reshape();
   auto store = std::make_shared<DeviceStore>(device);
   for (const auto& [name, disk] : volumes_) {
     disk->attach_device(device, store);
@@ -65,9 +84,11 @@ void StoragePool::add_device(const Device& device) {
 }
 
 void StoragePool::remove_device(DeviceId uid) {
+  const MutexLock lock(mu_);
   if (!config_.contains(uid)) {
     throw std::out_of_range("StoragePool: unknown device");
   }
+  ensure_no_reshape();
   for (const auto& [name, disk] : volumes_) {
     disk->remove_device(uid);
   }
@@ -76,6 +97,7 @@ void StoragePool::remove_device(DeviceId uid) {
 }
 
 void StoragePool::fail_device(DeviceId uid) {
+  const MutexLock lock(mu_);
   const auto it = stores_.find(uid);
   if (it == stores_.end()) {
     throw std::out_of_range("StoragePool: unknown device");
@@ -84,6 +106,7 @@ void StoragePool::fail_device(DeviceId uid) {
 }
 
 std::uint64_t StoragePool::rebuild() {
+  const MutexLock lock(mu_);
   std::uint64_t rebuilt = 0;
   for (const auto& [name, disk] : volumes_) {
     rebuilt += disk->rebuild();
@@ -101,6 +124,7 @@ std::uint64_t StoragePool::rebuild() {
 }
 
 void StoragePool::publish_metrics() const {
+  const MutexLock lock(mu_);
   metrics::Registry& reg = metrics::Registry::global();
   reg.gauge("rds_pool_volumes")
       .set(static_cast<std::int64_t>(volumes_.size()));
@@ -110,6 +134,7 @@ void StoragePool::publish_metrics() const {
 }
 
 std::vector<StoragePool::DeviceUsage> StoragePool::usage() const {
+  const MutexLock lock(mu_);
   std::vector<DeviceUsage> out;
   out.reserve(config_.size());
   for (const Device& d : config_.devices()) {

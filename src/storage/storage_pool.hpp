@@ -6,6 +6,10 @@
 // RS(8+2)) on the same spindles.  The pool owns the device stores (capacity
 // is contended across volumes) and fans every topology event out to every
 // volume, each of which migrates only its own minimal fragment set.
+//
+// Pool-level operations are serialized by an internal mutex.  Lock order is
+// pool -> volume: pool methods may take a volume's internal lock (via the
+// VirtualDisk public API) while holding the pool lock, never the reverse.
 #pragma once
 
 #include <map>
@@ -14,6 +18,8 @@
 #include <vector>
 
 #include "src/storage/virtual_disk.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace rds {
 
@@ -25,35 +31,47 @@ class StoragePool {
   /// names or if the scheme needs more fragments than there are devices.
   VirtualDisk& create_volume(
       const std::string& name, std::shared_ptr<RedundancyScheme> scheme,
-      PlacementKind kind = PlacementKind::kRedundantShare);
+      PlacementKind kind = PlacementKind::kRedundantShare) RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] VirtualDisk& volume(const std::string& name);
-  [[nodiscard]] bool has_volume(const std::string& name) const {
+  [[nodiscard]] VirtualDisk& volume(const std::string& name)
+      RDS_EXCLUDES(mu_);
+  [[nodiscard]] bool has_volume(const std::string& name) const
+      RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return volumes_.contains(name);
   }
-  [[nodiscard]] std::vector<std::string> volume_names() const;
-  [[nodiscard]] std::size_t volume_count() const noexcept {
+  [[nodiscard]] std::vector<std::string> volume_names() const
+      RDS_EXCLUDES(mu_);
+  [[nodiscard]] std::size_t volume_count() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return volumes_.size();
   }
 
   /// Deletes a volume and releases all its fragments from the shared
   /// devices.  Returns whether it existed.
-  bool drop_volume(const std::string& name);
+  bool drop_volume(const std::string& name) RDS_EXCLUDES(mu_);
 
-  /// Adds a device to the pool and migrates every volume onto it.
-  void add_device(const Device& device);
+  /// Adds a device to the pool and migrates every volume onto it.  Fails
+  /// up front (nothing mutated) if any volume has a reshape in flight.
+  void add_device(const Device& device) RDS_EXCLUDES(mu_);
 
   /// Gracefully removes a device: every volume drains its fragments first.
-  void remove_device(DeviceId uid);
+  /// Fails up front (nothing mutated) if any volume has a reshape in
+  /// flight.
+  void remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
   /// Crashes a device for every volume at once (stores are shared).
-  void fail_device(DeviceId uid);
+  void fail_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
   /// Drops failed devices and restores full redundancy on every volume.
   /// Returns total fragments rebuilt across volumes.
-  std::uint64_t rebuild();
+  std::uint64_t rebuild() RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] const ClusterConfig& config() const noexcept {
+  /// Pool-owner view of the configuration.  The reference stays valid for
+  /// the pool's lifetime; read it while no topology mutation runs
+  /// concurrently.
+  [[nodiscard]] const ClusterConfig& config() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return config_;
   }
 
@@ -62,20 +80,30 @@ class StoragePool {
     std::uint64_t used = 0;  ///< fragments across all volumes
     bool failed = false;
   };
-  [[nodiscard]] std::vector<DeviceUsage> usage() const;
+  [[nodiscard]] std::vector<DeviceUsage> usage() const RDS_EXCLUDES(mu_);
 
   /// Refreshes the pool-level gauges (`rds_pool_volumes`,
   /// `rds_pool_devices`) and every volume's per-device load gauges.  Call
   /// before exporting a metrics snapshot.
-  void publish_metrics() const;
+  void publish_metrics() const RDS_EXCLUDES(mu_);
 
  private:
   friend class Snapshot;
 
-  ClusterConfig config_;
-  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_;
-  std::map<std::string, std::unique_ptr<VirtualDisk>> volumes_;
-  std::uint32_t next_volume_id_ = 1;
+  /// Throws if any volume has a reshape in flight; topology fan-out must
+  /// fail before mutating the first volume, not midway through.
+  void ensure_no_reshape() const RDS_REQUIRES(mu_);
+
+  /// Serializes pool topology and the volume table; mutable so const
+  /// observers (usage(), config(), ...) can take it.
+  mutable Mutex mu_;
+
+  ClusterConfig config_ RDS_GUARDED_BY(mu_);
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_
+      RDS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<VirtualDisk>> volumes_
+      RDS_GUARDED_BY(mu_);
+  std::uint32_t next_volume_id_ RDS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace rds

@@ -76,6 +76,7 @@ void VirtualDisk::sync_device_gauge(DeviceId uid) const {
 }
 
 void VirtualDisk::publish_device_gauges() const {
+  const MutexLock lock(mu_);
   for (const auto& [uid, store] : stores_) sync_device_gauge(uid);
 }
 
@@ -89,16 +90,21 @@ void VirtualDisk::publish_epoch() {
   epoch->config = config_;
   epoch->strategy = strategy_;
   epoch->epoch = ++epoch_counter_;
+  // rds_lint: allow(atomic-memory-order) -- RcuCell::store is release
+  // internally; this is a shared_ptr publish, not a raw atomic op.
   published_.store(std::move(epoch));
 }
 
 std::shared_ptr<const PlacementEpoch> VirtualDisk::placement_snapshot()
     const noexcept {
+  // rds_lint: allow(atomic-memory-order) -- RcuCell::load is acquire
+  // internally; this is a shared_ptr read, not a raw atomic op.
   return published_.load();
 }
 
 std::uint64_t VirtualDisk::place(std::uint64_t block,
                                  std::span<DeviceId> out) const {
+  // rds_lint: allow(atomic-memory-order) -- see placement_snapshot().
   const std::shared_ptr<const PlacementEpoch> epoch = published_.load();
   epoch->strategy->place(block, out);
   return epoch->epoch;
@@ -132,6 +138,12 @@ const ReplicationStrategy& VirtualDisk::strategy_for(
 
 Result<void> VirtualDisk::try_write(std::uint64_t block,
                                     std::span<const std::uint8_t> data) {
+  const MutexLock lock(mu_);
+  return write_locked(block, data);
+}
+
+Result<void> VirtualDisk::write_locked(std::uint64_t block,
+                                       std::span<const std::uint8_t> data) {
   std::vector<Bytes> fragments;
   try {
     fragments = scheme_->encode(data);
@@ -192,6 +204,12 @@ std::vector<std::optional<Bytes>> VirtualDisk::gather_fragments(
 }
 
 Result<std::vector<std::uint8_t>> VirtualDisk::try_read(std::uint64_t block) {
+  const MutexLock lock(mu_);
+  return read_locked(block);
+}
+
+Result<std::vector<std::uint8_t>> VirtualDisk::read_locked(
+    std::uint64_t block) {
   const auto size_it = blocks_.find(block);
   if (size_it == blocks_.end()) {
     return Error{ErrorCode::kNotFound, "VirtualDisk: block never written"};
@@ -221,6 +239,11 @@ std::vector<std::uint8_t> VirtualDisk::read(std::uint64_t block) {
 }
 
 Result<void> VirtualDisk::try_trim(std::uint64_t block) {
+  const MutexLock lock(mu_);
+  return trim_locked(block);
+}
+
+Result<void> VirtualDisk::trim_locked(std::uint64_t block) {
   const auto it = blocks_.find(block);
   if (it == blocks_.end()) {
     return Error{ErrorCode::kNotFound, "VirtualDisk: block never written"};
@@ -247,13 +270,14 @@ bool VirtualDisk::trim(std::uint64_t block) {
 }
 
 Result<void> VirtualDisk::try_add_device(const Device& device) {
+  const MutexLock lock(mu_);
   ClusterConfig next = config_;
   try {
     next.add_device(device);  // validates (duplicate uid, zero capacity, ...)
   } catch (const std::invalid_argument& e) {
     return Error{ErrorCode::kInvalidArgument, e.what()};
   }
-  Result<std::size_t> migrated = apply_config(std::move(next));
+  Result<std::size_t> migrated = apply_config_locked(std::move(next));
   if (!migrated.ok()) return migrated.error();
   return {};
 }
@@ -265,16 +289,18 @@ void VirtualDisk::add_device(const Device& device) {
 void VirtualDisk::attach_device(const Device& device,
                                 std::shared_ptr<DeviceStore> store) {
   if (!store) throw std::invalid_argument("attach_device: null store");
-  if (reshaping()) {
+  const MutexLock lock(mu_);
+  if (reshaping_locked()) {
     throw std::runtime_error("VirtualDisk: reshape already in progress");
   }
   ClusterConfig next = config_;
   next.add_device(device);                 // validates (duplicate uid, ...)
   stores_.emplace(device.uid, std::move(store));
-  migrate_to(std::move(next));
+  migrate_to_locked(std::move(next));
 }
 
 Result<void> VirtualDisk::try_remove_device(DeviceId uid) {
+  const MutexLock lock(mu_);
   const auto it = stores_.find(uid);
   if (it == stores_.end()) {
     return Error{ErrorCode::kNotFound, "VirtualDisk: unknown device"};
@@ -285,7 +311,7 @@ Result<void> VirtualDisk::try_remove_device(DeviceId uid) {
   }
   ClusterConfig next = config_;
   next.remove_device(uid);
-  Result<std::size_t> migrated = apply_config(std::move(next));
+  Result<std::size_t> migrated = apply_config_locked(std::move(next));
   if (!migrated.ok()) return migrated.error();
   stores_.erase(uid);
   return {};
@@ -296,10 +322,12 @@ void VirtualDisk::remove_device(DeviceId uid) {
 }
 
 void VirtualDisk::fail_device(DeviceId uid) {
+  const MutexLock lock(mu_);
   stores_.at(uid)->fail();
 }
 
 bool VirtualDisk::corrupt_fragment(std::uint64_t block, unsigned fragment) {
+  const MutexLock lock(mu_);
   if (!blocks_.contains(block) || fragment >= scheme_->fragment_count()) {
     return false;
   }
@@ -310,6 +338,7 @@ bool VirtualDisk::corrupt_fragment(std::uint64_t block, unsigned fragment) {
 }
 
 std::uint64_t VirtualDisk::rebuild() {
+  const MutexLock lock(mu_);
   ClusterConfig next = config_;
   std::vector<DeviceId> dead;
   for (const auto& [uid, store] : stores_) {
@@ -319,13 +348,18 @@ std::uint64_t VirtualDisk::rebuild() {
   for (const DeviceId uid : dead) next.remove_device(uid);
 
   const std::uint64_t rebuilt_before = stats_.fragments_rebuilt;
-  migrate_to(std::move(next));
+  migrate_to_locked(std::move(next));
   for (const DeviceId uid : dead) stores_.erase(uid);
   return stats_.fragments_rebuilt - rebuilt_before;
 }
 
 Result<std::size_t> VirtualDisk::try_begin_reshape(ClusterConfig next) {
-  if (reshaping()) {
+  const MutexLock lock(mu_);
+  return begin_reshape_locked(std::move(next));
+}
+
+Result<std::size_t> VirtualDisk::begin_reshape_locked(ClusterConfig next) {
+  if (reshaping_locked()) {
     return Error{ErrorCode::kReshapeInProgress,
                  "VirtualDisk: reshape already in progress"};
   }
@@ -348,7 +382,9 @@ Result<std::size_t> VirtualDisk::try_begin_reshape(ClusterConfig next) {
   topology_events_total_->inc();
   next_strategy_ = std::move(next_strategy);
   for (const Device& d : next.devices()) {
-    if (!stores_.contains(d.uid)) stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
+    if (!stores_.contains(d.uid)) {
+      stores_.emplace(d.uid, std::make_shared<DeviceStore>(d));
+    }
   }
   next_config_ = std::move(next);
   pending_.clear();
@@ -402,7 +438,12 @@ void VirtualDisk::reshape_block(std::uint64_t block) {
 }
 
 std::size_t VirtualDisk::step_reshape(std::size_t max_blocks) {
-  if (!reshaping()) return 0;
+  const MutexLock lock(mu_);
+  return step_reshape_locked(max_blocks);
+}
+
+std::size_t VirtualDisk::step_reshape_locked(std::size_t max_blocks) {
+  if (!reshaping_locked()) return 0;
   metrics::ScopedTimer step_span(*migration_step_latency_ns_);
   std::size_t processed = 0;
   while (processed < max_blocks && !pending_.empty()) {
@@ -425,20 +466,26 @@ std::size_t VirtualDisk::step_reshape(std::size_t max_blocks) {
 }
 
 Result<std::size_t> VirtualDisk::apply_config(ClusterConfig next) {
-  Result<std::size_t> begun = try_begin_reshape(std::move(next));
+  const MutexLock lock(mu_);
+  return apply_config_locked(std::move(next));
+}
+
+Result<std::size_t> VirtualDisk::apply_config_locked(ClusterConfig next) {
+  Result<std::size_t> begun = begin_reshape_locked(std::move(next));
   if (!begun.ok()) return begun;
   while (!pending_.empty()) {
-    step_reshape(1024);
+    step_reshape_locked(1024);
   }
-  step_reshape(1);  // commit when the pool held no blocks at all
+  step_reshape_locked(1);  // commit when the pool held no blocks at all
   return begun;
 }
 
-void VirtualDisk::migrate_to(ClusterConfig next) {
-  apply_config(std::move(next)).value_or_throw();
+void VirtualDisk::migrate_to_locked(ClusterConfig next) {
+  apply_config_locked(std::move(next)).value_or_throw();
 }
 
 std::uint64_t VirtualDisk::repair() {
+  const MutexLock lock(mu_);
   const unsigned k = scheme_->fragment_count();
   const std::uint64_t repaired_before = stats_.fragments_repaired;
   std::vector<DeviceId> loc(k);
@@ -466,6 +513,7 @@ std::uint64_t VirtualDisk::repair() {
 }
 
 VirtualDisk::ScrubReport VirtualDisk::scrub() {
+  const MutexLock lock(mu_);
   ScrubReport report;
   const unsigned k = scheme_->fragment_count();
   std::vector<DeviceId> loc(k);
@@ -500,6 +548,7 @@ VirtualDisk::ScrubReport VirtualDisk::scrub() {
 }
 
 std::vector<std::uint64_t> VirtualDisk::block_ids() const {
+  const MutexLock lock(mu_);
   std::vector<std::uint64_t> ids;
   ids.reserve(blocks_.size());
   for (const auto& [block, size] : blocks_) ids.push_back(block);
@@ -507,6 +556,7 @@ std::vector<std::uint64_t> VirtualDisk::block_ids() const {
 }
 
 std::uint64_t VirtualDisk::used_on(DeviceId uid) const {
+  const MutexLock lock(mu_);
   const auto it = stores_.find(uid);
   return it == stores_.end() ? 0 : it->second->used();
 }

@@ -8,11 +8,15 @@
 // are rebuilt from the surviving ones through the scheme.
 //
 // Concurrency model (docs/api.md, "Concurrency guarantees"): block I/O and
-// topology mutations are single-writer -- one thread at a time.  Placement
+// topology mutations are serialized by an internal mutex (`mu_`), so any
+// number of threads may call them -- one at a time gets in.  Placement
 // lookups (place(), placement_snapshot()) are lock-free and may run from any
 // number of threads concurrently with that writer: they read an immutable
 // PlacementEpoch published by shared_ptr-RCU, so every lookup sees one
 // consistent (strategy, config) pair even in the middle of apply_config.
+// The locking discipline is machine-checked: every mutable field is
+// RDS_GUARDED_BY(mu_) and the build enforces -Werror=thread-safety under
+// Clang (docs/static_analysis.md).
 #pragma once
 
 #include <cstdint>
@@ -31,7 +35,9 @@
 #include "src/placement/strategy_factory.hpp"  // PlacementKind (moved there)
 #include "src/storage/device_store.hpp"
 #include "src/storage/redundancy_scheme.hpp"
+#include "src/util/mutex.hpp"
 #include "src/util/rcu.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace rds {
 
@@ -96,36 +102,41 @@ class VirtualDisk {
   /// fit the fragment budget, kIoError when a device store rejects a
   /// fragment (full / crashed) -- in that case fragments written before the
   /// failure remain, exactly as the throwing path always behaved.
-  Result<void> try_write(std::uint64_t block,
-                         std::span<const std::uint8_t> data);
+  [[nodiscard]] Result<void> try_write(std::uint64_t block,
+                                       std::span<const std::uint8_t> data)
+      RDS_EXCLUDES(mu_);
 
   /// Reads a block back, reconstructing around failed devices.  kNotFound
   /// for never-written blocks, kUnrecoverable when too few fragments
   /// survive.
-  [[nodiscard]] Result<std::vector<std::uint8_t>> try_read(
-      std::uint64_t block);
+  [[nodiscard]] Result<std::vector<std::uint8_t>> try_read(std::uint64_t block)
+      RDS_EXCLUDES(mu_);
 
   /// Discards a block: removes its fragments from every device.  kNotFound
   /// when the block was never written.
-  Result<void> try_trim(std::uint64_t block);
+  [[nodiscard]] Result<void> try_trim(std::uint64_t block) RDS_EXCLUDES(mu_);
 
   /// Stores a logical block (any length that fits the fragment budget).
   /// Throwing wrapper over try_write.
-  void write(std::uint64_t block, std::span<const std::uint8_t> data);
+  void write(std::uint64_t block, std::span<const std::uint8_t> data)
+      RDS_EXCLUDES(mu_);
 
   /// Reads a logical block back, reconstructing around failed devices.
   /// Throws std::out_of_range for never-written blocks, std::runtime_error
   /// when too many fragments are lost.  Throwing wrapper over try_read.
-  [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block);
+  [[nodiscard]] std::vector<std::uint8_t> read(std::uint64_t block)
+      RDS_EXCLUDES(mu_);
 
   /// Discards a block: removes its fragments from every device.  Returns
   /// whether the block existed.  Wrapper over try_trim.
-  bool trim(std::uint64_t block);
+  bool trim(std::uint64_t block) RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] bool contains(std::uint64_t block) const {
+  [[nodiscard]] bool contains(std::uint64_t block) const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return blocks_.contains(block);
   }
-  [[nodiscard]] std::uint64_t block_count() const noexcept {
+  [[nodiscard]] std::uint64_t block_count() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return blocks_.size();
   }
 
@@ -138,8 +149,8 @@ class VirtualDisk {
       const noexcept;
 
   /// Places `block` under the current committed epoch (lock-free; safe
-  /// concurrently with one topology-mutating thread).  Fills `out`
-  /// (size == k) and returns the epoch id the placement came from.
+  /// concurrently with the serialized mutators).  Fills `out` (size == k)
+  /// and returns the epoch id the placement came from.
   std::uint64_t place(std::uint64_t block, std::span<DeviceId> out) const;
 
   /// Migrates data to `next` (validate, reshape, drain) and atomically
@@ -147,26 +158,27 @@ class VirtualDisk {
   /// see either the old pair or the new pair, never a mix.  Returns the
   /// number of blocks re-examined.  kReshapeInProgress if a reshape is in
   /// flight, kDeviceFailed if a failed device would remain in `next`,
-  /// kInvalidArgument for configs the strategy rejects.  Mutations stay
-  /// single-writer: call from one thread at a time.
-  Result<std::size_t> apply_config(ClusterConfig next);
+  /// kInvalidArgument for configs the strategy rejects.
+  [[nodiscard]] Result<std::size_t> apply_config(ClusterConfig next)
+      RDS_EXCLUDES(mu_);
 
   /// Adds a device and migrates the fragments the new placement assigns
   /// it.  Result form + throwing wrapper.
-  Result<void> try_add_device(const Device& device);
-  void add_device(const Device& device);
+  [[nodiscard]] Result<void> try_add_device(const Device& device)
+      RDS_EXCLUDES(mu_);
+  void add_device(const Device& device) RDS_EXCLUDES(mu_);
 
   /// Pool mode: adds a device backed by an existing (shared) store and
   /// migrates.  Used by StoragePool so every co-hosted volume sees the same
   /// physical device.
-  void attach_device(const Device& device,
-                     std::shared_ptr<DeviceStore> store);
+  void attach_device(const Device& device, std::shared_ptr<DeviceStore> store)
+      RDS_EXCLUDES(mu_);
 
   /// Gracefully removes a healthy device, migrating its data away first.
   /// kNotFound for unknown uids, kInvalidArgument for failed devices (use
   /// rebuild()).  Result form + throwing wrapper.
-  Result<void> try_remove_device(DeviceId uid);
-  void remove_device(DeviceId uid);
+  [[nodiscard]] Result<void> try_remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
+  void remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
   /// Incremental reshaping: starts migrating toward `next` without blocking.
   /// Returns the number of blocks that still need re-placement.  While a
@@ -174,67 +186,82 @@ class VirtualDisk {
   /// served from wherever it currently lives); further topology operations
   /// are rejected until the reshape drains (kReshapeInProgress).  Result
   /// form + throwing wrapper.
-  Result<std::size_t> try_begin_reshape(ClusterConfig next);
-  std::size_t begin_reshape(ClusterConfig next);
+  [[nodiscard]] Result<std::size_t> try_begin_reshape(ClusterConfig next)
+      RDS_EXCLUDES(mu_);
+  std::size_t begin_reshape(ClusterConfig next) RDS_EXCLUDES(mu_);
 
   /// Migrates up to `max_blocks` pending blocks; returns how many were
   /// processed.  A return of 0 means the reshape is complete (the new
   /// configuration is committed).
-  std::size_t step_reshape(std::size_t max_blocks);
+  std::size_t step_reshape(std::size_t max_blocks) RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] bool reshaping() const noexcept {
+  [[nodiscard]] bool reshaping() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return next_strategy_ != nullptr;
   }
-  [[nodiscard]] std::size_t reshape_pending() const noexcept {
+  [[nodiscard]] std::size_t reshape_pending() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return pending_.size();
   }
 
   /// Simulates a crash: the device's contents become unreadable.
-  void fail_device(DeviceId uid);
+  void fail_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
   /// Chaos hook: silently corrupts the stored copy of one fragment (bit
   /// rot).  Returns whether the fragment existed.  Reads detect the damage
   /// via checksums and reconstruct; repair() restores the fragment.
-  bool corrupt_fragment(std::uint64_t block, unsigned fragment);
+  bool corrupt_fragment(std::uint64_t block, unsigned fragment)
+      RDS_EXCLUDES(mu_);
 
   /// Drops all failed devices from the configuration and restores full
   /// redundancy (re-places fragments; lost ones are rebuilt from peers).
   /// Returns the number of fragments rebuilt.
-  std::uint64_t rebuild();
+  std::uint64_t rebuild() RDS_EXCLUDES(mu_);
 
   /// Verifies every block: decodable, fully redundant, fragments exactly
   /// where the placement function says, and checksums intact (corrupt
   /// fragments count as missing).
-  [[nodiscard]] ScrubReport scrub();
+  [[nodiscard]] ScrubReport scrub() RDS_EXCLUDES(mu_);
 
   /// Restores full redundancy in place: re-creates missing or corrupt
   /// fragments on their assigned (healthy) devices from the surviving
   /// ones.  Unlike rebuild(), the configuration is unchanged.  Returns the
   /// number of fragments repaired; unrecoverable blocks are left alone.
-  std::uint64_t repair();
+  std::uint64_t repair() RDS_EXCLUDES(mu_);
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const ClusterConfig& config() const noexcept {
+  /// Owner-thread view of the stats.  The reference stays valid for the
+  /// disk's lifetime; read it while no mutator runs concurrently.
+  [[nodiscard]] const Stats& stats() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return stats_;
+  }
+  /// Committed configuration; same validity rule as stats().  Concurrent
+  /// readers should use placement_snapshot()->config instead.
+  [[nodiscard]] const ClusterConfig& config() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return config_;
   }
   [[nodiscard]] const RedundancyScheme& scheme() const noexcept {
     return *scheme_;
   }
-  [[nodiscard]] const ReplicationStrategy& strategy() const noexcept {
+  /// Committed strategy; concurrent readers should hold a
+  /// placement_snapshot() instead (it pins the strategy's lifetime).
+  [[nodiscard]] const ReplicationStrategy& strategy() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return *strategy_;
   }
-  [[nodiscard]] std::uint64_t used_on(DeviceId uid) const;
+  [[nodiscard]] std::uint64_t used_on(DeviceId uid) const RDS_EXCLUDES(mu_);
   [[nodiscard]] std::uint32_t volume_id() const noexcept { return volume_id_; }
 
   /// Re-publishes the per-device load gauges
   /// (`rds_device_fragments{device=...}`) from the current store contents.
   /// The write path keeps them fresh incrementally; call this before a
   /// snapshot export to also reflect erase-only activity (trims, drains).
-  void publish_device_gauges() const;
+  void publish_device_gauges() const RDS_EXCLUDES(mu_);
 
   /// Ids of all blocks currently stored (for pool bookkeeping and volume
   /// teardown).
-  [[nodiscard]] std::vector<std::uint64_t> block_ids() const;
+  [[nodiscard]] std::vector<std::uint64_t> block_ids() const RDS_EXCLUDES(mu_);
 
  private:
   friend class Snapshot;
@@ -242,26 +269,47 @@ class VirtualDisk {
   [[nodiscard]] std::unique_ptr<ReplicationStrategy> make_strategy(
       const ClusterConfig& config) const;
 
+  // Locked bodies of the public operations above.  Public entry points take
+  // `mu_` once and delegate here; internal call chains (add_device ->
+  // apply_config -> begin_reshape -> step_reshape) stay on the *_locked
+  // layer so the mutex is never taken recursively.
+  [[nodiscard]] Result<void> write_locked(std::uint64_t block,
+                                          std::span<const std::uint8_t> data)
+      RDS_REQUIRES(mu_);
+  [[nodiscard]] Result<std::vector<std::uint8_t>> read_locked(
+      std::uint64_t block) RDS_REQUIRES(mu_);
+  [[nodiscard]] Result<void> trim_locked(std::uint64_t block)
+      RDS_REQUIRES(mu_);
+  [[nodiscard]] Result<std::size_t> begin_reshape_locked(ClusterConfig next)
+      RDS_REQUIRES(mu_);
+  std::size_t step_reshape_locked(std::size_t max_blocks) RDS_REQUIRES(mu_);
+  [[nodiscard]] Result<std::size_t> apply_config_locked(ClusterConfig next)
+      RDS_REQUIRES(mu_);
+  [[nodiscard]] bool reshaping_locked() const RDS_REQUIRES(mu_) {
+    return next_strategy_ != nullptr;
+  }
+
   /// Re-places every block under `next` and moves/rebuilds fragments
   /// (apply_config, throwing form).
-  void migrate_to(ClusterConfig next);
+  void migrate_to_locked(ClusterConfig next) RDS_REQUIRES(mu_);
 
   /// Copies the committed (config_, strategy_) pair into a fresh epoch and
-  /// installs it with one atomic store.  Owner thread only.
-  void publish_epoch();
+  /// installs it with one atomic store.
+  void publish_epoch() RDS_REQUIRES(mu_);
 
   /// The strategy that currently governs `block` (old placement while the
   /// block awaits reshaping, the target placement otherwise).
   [[nodiscard]] const ReplicationStrategy& strategy_for(
-      std::uint64_t block) const;
+      std::uint64_t block) const RDS_REQUIRES(mu_);
 
   /// Moves one block's fragments from `strategy_` to `next_strategy_`.
-  void reshape_block(std::uint64_t block);
+  void reshape_block(std::uint64_t block) RDS_REQUIRES(mu_);
 
   /// Reads all currently reachable, checksum-valid fragments of a block;
   /// corrupt fragments count as missing (and bump the failure stat).
   [[nodiscard]] std::vector<std::optional<Bytes>> gather_fragments(
-      std::uint64_t block, std::span<const DeviceId> locations);
+      std::uint64_t block, std::span<const DeviceId> locations)
+      RDS_REQUIRES(mu_);
 
   /// Checksum over a fragment payload (placement-independent).
   [[nodiscard]] static std::uint64_t checksum(
@@ -269,30 +317,40 @@ class VirtualDisk {
 
   /// Stores fragment j of `block` with its checksum recorded.
   void store_fragment(DeviceId target, std::uint64_t block, unsigned j,
-                      Bytes payload);
+                      Bytes payload) RDS_REQUIRES(mu_);
 
   /// Resolves the registry instruments (both constructors).
   void init_metrics();
 
   /// Updates `uid`'s load gauge from its store (no-op for unknown uids).
-  void sync_device_gauge(DeviceId uid) const;
+  void sync_device_gauge(DeviceId uid) const RDS_REQUIRES(mu_);
 
-  ClusterConfig config_;
-  std::shared_ptr<RedundancyScheme> scheme_;
+  /// Serializes block I/O and topology mutations; mutable so const
+  /// observers (stats(), used_on(), ...) can take it.  place() and
+  /// placement_snapshot() never touch it -- they read `published_`.
+  mutable Mutex mu_;
+
+  ClusterConfig config_ RDS_GUARDED_BY(mu_);
+  std::shared_ptr<RedundancyScheme> scheme_;  // immutable after construction
   PlacementKind kind_;
   std::uint32_t volume_id_ = 0;
   // Committed strategy, shared with the published epoch so concurrent
   // readers keep it alive across a swap.  `config_`/`strategy_` are the
-  // owner thread's view; `published_` is the RCU snapshot readers load.
-  std::shared_ptr<const ReplicationStrategy> strategy_;
+  // mutator's view; `published_` is the RCU snapshot readers load.
+  std::shared_ptr<const ReplicationStrategy> strategy_ RDS_GUARDED_BY(mu_);
   RcuCell<PlacementEpoch> published_;
-  std::uint64_t epoch_counter_ = 0;
-  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_;
-  std::unordered_map<std::uint64_t, std::size_t> blocks_;  // block -> size
-  std::unordered_map<FragmentKey, std::uint64_t, FragmentKeyHash> checksums_;
-  Stats stats_;
+  std::uint64_t epoch_counter_ RDS_GUARDED_BY(mu_) = 0;
+  std::unordered_map<DeviceId, std::shared_ptr<DeviceStore>> stores_
+      RDS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::size_t> blocks_
+      RDS_GUARDED_BY(mu_);  // block -> size
+  std::unordered_map<FragmentKey, std::uint64_t, FragmentKeyHash> checksums_
+      RDS_GUARDED_BY(mu_);
+  Stats stats_ RDS_GUARDED_BY(mu_);
 
   // Registry-owned instruments (process lifetime; see docs/metrics.md).
+  // Written once by init_metrics() before the disk is shared, internally
+  // thread-safe: unguarded.
   metrics::Counter* reads_total_ = nullptr;
   metrics::Counter* writes_total_ = nullptr;
   metrics::Counter* read_bytes_total_ = nullptr;
@@ -307,14 +365,16 @@ class VirtualDisk {
   metrics::LatencyHistogram* placement_latency_ns_ = nullptr;
   metrics::LatencyHistogram* migration_step_latency_ns_ = nullptr;
   // Per-device load gauges, cached so the write path never touches the
-  // registry mutex (VirtualDisk itself is single-threaded; mutable because
-  // the cache fills lazily from const paths).
-  mutable std::unordered_map<DeviceId, metrics::Gauge*> device_gauges_;
+  // registry mutex (mutable because the cache fills lazily from const
+  // paths).
+  mutable std::unordered_map<DeviceId, metrics::Gauge*> device_gauges_
+      RDS_GUARDED_BY(mu_);
 
   // In-flight reshape state (empty/null when idle).
-  ClusterConfig next_config_;
-  std::unique_ptr<ReplicationStrategy> next_strategy_;
-  std::unordered_set<std::uint64_t> pending_;  // blocks still on `strategy_`
+  ClusterConfig next_config_ RDS_GUARDED_BY(mu_);
+  std::unique_ptr<ReplicationStrategy> next_strategy_ RDS_GUARDED_BY(mu_);
+  std::unordered_set<std::uint64_t> pending_
+      RDS_GUARDED_BY(mu_);  // blocks still on `strategy_`
 };
 
 }  // namespace rds

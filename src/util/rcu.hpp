@@ -22,9 +22,13 @@ class RcuCell {
   explicit RcuCell(std::shared_ptr<const T> initial) noexcept
       : cell_(std::move(initial)) {}
 
-  RcuCell(RcuCell&& other) noexcept : cell_(other.cell_.load()) {}
+  // Relaxed is enough here: moves are documented single-threaded (no other
+  // thread may touch either cell), so there is nothing to order against.
+  RcuCell(RcuCell&& other) noexcept
+      : cell_(other.cell_.load(std::memory_order_relaxed)) {}
   RcuCell& operator=(RcuCell&& other) noexcept {
-    cell_.store(other.cell_.load());
+    cell_.store(other.cell_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     return *this;
   }
   RcuCell(const RcuCell&) = delete;
@@ -40,8 +44,11 @@ class RcuCell {
     cell_.store(std::move(next), std::memory_order_release);
   }
 
-  /// Publishes `next` and returns the snapshot it replaced.
-  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next) noexcept {
+  /// Publishes `next` and returns the snapshot it replaced.  Discarding the
+  /// return value would silently drop the old snapshot's last reference
+  /// while readers may still need it named -- callers must look at it.
+  [[nodiscard]] std::shared_ptr<const T> exchange(
+      std::shared_ptr<const T> next) noexcept {
     return cell_.exchange(std::move(next), std::memory_order_acq_rel);
   }
 

@@ -1,0 +1,27 @@
+// Fixture: explicitly ordered atomics the rule must accept.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter_value{0};
+
+int good_load() { return counter_value.load(std::memory_order_relaxed); }
+
+void good_store(int v) {
+  counter_value.store(v, std::memory_order_release);
+}
+
+void good_rmw() { counter_value.fetch_add(1, std::memory_order_relaxed); }
+
+bool good_cas(int& expected) {
+  return counter_value.compare_exchange_weak(expected, 7,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed);
+}
+
+// Non-atomic member functions that merely share a name must not trip the
+// rule: free calls and unrelated methods.
+int load() { return 0; }
+int not_atomic() { return load(); }
+
+}  // namespace fixture

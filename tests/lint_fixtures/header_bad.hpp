@@ -1,0 +1,11 @@
+// Fixture: a header with no include guard that dumps std into every
+// includer.  (Deliberately missing #pragma once.)
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+inline string greet() { return "hi"; }
+
+}  // namespace fixture

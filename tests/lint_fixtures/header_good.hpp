@@ -1,0 +1,14 @@
+// Fixture: header hygiene done right -- #pragma once, no namespace dumping;
+// function-local using directives are the author's own business.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string greet() {
+  using namespace std::string_literals;
+  return "hi"s;
+}
+
+}  // namespace fixture

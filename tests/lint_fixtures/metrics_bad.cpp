@@ -1,0 +1,16 @@
+// Fixture: metric family names outside the rds_ scheme.
+namespace fixture {
+
+struct Registry {
+  int& counter(const char*);
+  int& gauge(const char*);
+  int& histogram(const char*);
+};
+
+void publish(Registry& reg) {
+  reg.counter("requests_total") = 1;
+  reg.gauge("pool_volumes") = 2;
+  reg.histogram("write_latency_seconds") = 3;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: metric family names the rds_ scheme accepts, plus call shapes
+// the rule must not confuse with a family registration.
+#include <string>
+
+namespace fixture {
+
+struct Registry {
+  int& counter(const char*);
+  int& gauge(const char*);
+  int& histogram(const char*);
+};
+
+void publish(Registry& reg) {
+  reg.counter("rds_requests_total") = 1;
+  reg.gauge("rds_pool_volumes") = 2;
+  reg.histogram("rds_write_latency_seconds") = 3;
+}
+
+// A family looked up via a variable is out of scope for a token checker.
+void indirect(Registry& reg, const std::string& name) {
+  reg.counter(name.c_str()) = 4;
+}
+
+}  // namespace fixture

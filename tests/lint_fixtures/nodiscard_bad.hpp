@@ -1,0 +1,19 @@
+// Fixture: droppable Result declarations the nodiscard rule must flag.
+#pragma once
+
+#include <memory>
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+struct Store {
+  Result<int> try_read(int block);
+  Result<void> try_write(int block, int v);
+  std::shared_ptr<int> exchange(std::shared_ptr<int> next);
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: Result declarations correctly marked, and try_*/exchange shapes
+// that are not Result-returning (and so are exempt).
+#pragma once
+
+#include <map>
+#include <memory>
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+struct Store {
+  [[nodiscard]] Result<int> try_read(int block);
+  [[nodiscard]] Result<void> try_write(int block, int v);
+  [[nodiscard]] std::shared_ptr<int> exchange(std::shared_ptr<int> next);
+
+  // Not Result-returning: plain bool try_ is a different idiom (std style).
+  bool try_lock();
+
+  // exchange() of a non-pointer is not the RCU hand-off shape.
+  int exchange(int next);
+};
+
+// Calls inside an inline function body are uses, not declarations.
+inline void use(Store& s, std::map<int, int>& m) {
+  m.try_emplace(1, 2);
+  (void)s.try_lock();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: entropy sources that must never appear under src/placement/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned bad_device_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+void bad_time_seed() { std::srand(static_cast<unsigned>(std::time(nullptr))); }
+
+int bad_rand() { return std::rand(); }
+
+long bad_clock_seed() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

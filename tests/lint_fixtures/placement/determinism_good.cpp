@@ -1,0 +1,21 @@
+// Fixture: deterministic pseudo-randomness placement code is allowed to use
+// (seeded engines keyed off the input, never ambient entropy).
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t good_seeded_draw(std::uint64_t key) {
+  std::mt19937_64 engine(key);
+  return engine();
+}
+
+// steady_clock is monotonic-for-measurement, not an entropy source; only
+// the wall/system clocks are banned.
+long good_duration() {
+  const auto start = std::chrono::steady_clock::now();
+  return (std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace fixture

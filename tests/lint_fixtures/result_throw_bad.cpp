@@ -1,0 +1,22 @@
+// Fixture: throws reachable from try_* Result paths and noexcept functions.
+#include <stdexcept>
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+Result<int> try_parse(int raw) {
+  if (raw < 0) {
+    throw std::invalid_argument("negative");
+  }
+  return {raw};
+}
+
+void shutdown() noexcept {
+  throw std::runtime_error("unreachable in practice");
+}
+
+}  // namespace fixture

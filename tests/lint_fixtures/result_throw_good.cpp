@@ -1,0 +1,32 @@
+// Fixture: error handling shapes the result-path-throw rule must accept.
+#include <stdexcept>
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+  T value;
+  bool ok = true;
+};
+
+// try_* path reports through the Result instead of throwing.
+Result<int> try_parse(int raw) {
+  if (raw < 0) {
+    return {0, false};
+  }
+  return {raw, true};
+}
+
+// Throwing is fine in an ordinary (legacy) function...
+int parse_or_throw(int raw) {
+  if (raw < 0) throw std::invalid_argument("negative");
+  return raw;
+}
+
+// ...and in a conditionally-noexcept(false) one.
+int parse_conditional(int raw) noexcept(false) {
+  if (raw < 0) throw std::invalid_argument("negative");
+  return raw;
+}
+
+}  // namespace fixture

@@ -1,0 +1,123 @@
+// Runtime exercises for the annotated lock wrappers (src/util/mutex.hpp).
+// The Clang thread-safety analysis proves lock discipline at compile time;
+// these tests put the same primitives under real contention so the TSan CI
+// job (which runs -R '...|AnnotatedLocks') checks the dynamic side.
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::int64_t amount) RDS_EXCLUDES(mu_) {
+    const rds::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  [[nodiscard]] std::int64_t balance() const RDS_EXCLUDES(mu_) {
+    const rds::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable rds::Mutex mu_;
+  std::int64_t balance_ RDS_GUARDED_BY(mu_) = 0;
+};
+
+TEST(AnnotatedLocks, MutexSerializesWriters) {
+  Account account;
+  constexpr int kThreads = 8;
+  constexpr int kDeposits = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&account] {
+      for (int i = 0; i < kDeposits; ++i) account.deposit(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(account.balance(), static_cast<std::int64_t>(kThreads) * kDeposits);
+}
+
+TEST(AnnotatedLocks, MutexLockRelocksAfterUnlock) {
+  rds::Mutex mu;
+  int hits = 0;
+  {
+    rds::MutexLock lock(mu);
+    ++hits;
+    lock.unlock();
+    // While released another thread can take the mutex.
+    std::thread outsider([&mu, &hits] {
+      const rds::MutexLock inner(mu);
+      ++hits;
+    });
+    outsider.join();
+    lock.lock();
+    ++hits;
+  }
+  EXPECT_EQ(hits, 3);
+  // Branch on a named bool: the thread-safety analysis tracks the capability
+  // through the variable, which it cannot do through gtest's macro plumbing.
+  const bool acquired = mu.try_lock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.unlock();
+}
+
+TEST(AnnotatedLocks, TryLockReportsContention) {
+  rds::Mutex mu;
+  const rds::MutexLock lock(mu);
+  std::thread outsider([&mu] {
+    // Held by the main thread: must fail without blocking.
+    const bool acquired = mu.try_lock();
+    EXPECT_FALSE(acquired);
+    if (acquired) mu.unlock();
+  });
+  outsider.join();
+}
+
+TEST(AnnotatedLocks, CondVarHandsOffUnderLock) {
+  rds::Mutex mu;
+  rds::CondVar cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread consumer([&] {
+    rds::MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+    observed = 42;
+  });
+  {
+    const rds::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(AnnotatedLocks, MutexOwnersStayMovable) {
+  // Snapshot::load_disk/load_pool return lock-owning objects by value; the
+  // wrapper must keep the owning class movable while idle.
+  Account source;
+  source.deposit(7);
+  Account moved(std::move(source));
+  EXPECT_EQ(moved.balance(), 7);
+
+  std::vector<Account> accounts;
+  accounts.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    Account a;
+    a.deposit(i);
+    accounts.push_back(std::move(a));
+  }
+  EXPECT_EQ(accounts.back().balance(), 3);
+}
+
+}  // namespace

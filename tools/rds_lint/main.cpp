@@ -1,0 +1,138 @@
+// rds_lint CLI: lints the given files/directories and exits non-zero on
+// findings.  See tools/rds_lint/lint.hpp for the rule set.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/rds_lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void print_usage(std::ostream& out) {
+  out << "usage: rds_lint [--rule <id>]... [--list-rules] <path>...\n"
+         "\n"
+         "Lints .hpp/.h/.cpp/.cc files (directories are walked recursively;\n"
+         "hidden directories and build/ trees are skipped).  Exits 0 when\n"
+         "clean, 1 on findings, 2 on usage or I/O errors.\n";
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+bool skip_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || (!name.empty() && name.front() == '.');
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       std::string& error) {
+  std::vector<std::string> files;
+  for (const std::string& raw : paths) {
+    const fs::path p(raw);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(
+          p, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        error = raw + ": " + ec.message();
+        return {};
+      }
+      for (const fs::recursive_directory_iterator end; it != end;) {
+        const fs::directory_entry& entry = *it;
+        if (entry.is_directory(ec) && skip_directory(entry.path())) {
+          it.disable_recursion_pending();
+          it.increment(ec);
+          continue;
+        }
+        if (entry.is_regular_file(ec) && lintable_extension(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+        it.increment(ec);
+        if (ec) break;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.generic_string());
+    } else {
+      error = raw + ": no such file or directory";
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  rds::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const std::string& id : rds::lint::rule_ids()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--rule") {
+      if (i + 1 >= argc) {
+        std::cerr << "rds_lint: --rule needs an argument\n";
+        return 2;
+      }
+      const std::string id = argv[++i];
+      const auto& ids = rds::lint::rule_ids();
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        std::cerr << "rds_lint: unknown rule '" << id
+                  << "' (see --list-rules)\n";
+        return 2;
+      }
+      opts.only_rules.push_back(id);
+      continue;
+    }
+    if (arg.starts_with("-")) {
+      std::cerr << "rds_lint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<std::string> files = collect_files(paths, error);
+  if (!error.empty()) {
+    std::cerr << "rds_lint: " << error << "\n";
+    return 2;
+  }
+
+  std::vector<rds::lint::Finding> findings;
+  bool io_error = false;
+  for (const std::string& file : files) {
+    if (!rds::lint::lint_file(file, findings, error, opts)) {
+      std::cerr << "rds_lint: " << error << "\n";
+      io_error = true;
+    }
+  }
+  for (const rds::lint::Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  std::cerr << "rds_lint: " << findings.size() << " finding(s) in "
+            << files.size() << " file(s)\n";
+  if (io_error) return 2;
+  return findings.empty() ? 0 : 1;
+}
