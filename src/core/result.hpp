@@ -28,6 +28,9 @@ enum class ErrorCode {
   kReshapeInProgress, ///< topology change rejected while one is in flight
   kCancelled,         ///< cooperative cancellation stopped the operation
   kIoError,           ///< a device store rejected a read/write (full, ...)
+  kCorruption,        ///< persisted data failed an integrity check (CRC,
+                      ///< magic, content fingerprint) -- see
+                      ///< docs/persistence.md
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) noexcept {
@@ -40,6 +43,7 @@ enum class ErrorCode {
     case ErrorCode::kReshapeInProgress: return "reshape-in-progress";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kCorruption: return "corruption";
   }
   return "?";
 }

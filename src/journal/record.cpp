@@ -1,0 +1,306 @@
+#include "src/journal/record.hpp"
+
+#include <utility>
+
+#include "src/util/hash.hpp"
+
+namespace rds::journal {
+namespace {
+
+// ---- little-endian payload primitives -------------------------------------
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(Bytes& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_bytes(Bytes& out, const Bytes& b) {
+  put_u64(out, b.size());
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+/// Bounds-checked reader over a record payload.  Underflow latches
+/// `failed()` instead of throwing so decode_record can return a typed
+/// Result.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) {
+      failed_ = true;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  std::string string() {
+    const std::uint32_t size = u32();
+    if (failed_ || data_.size() - pos_ < size) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t size = u64();
+    if (failed_ || data_.size() - pos_ < size) {
+      failed_ = true;
+      return {};
+    }
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + size));
+    pos_ += static_cast<std::size_t>(size);
+    return b;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string_view to_string(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::kAddDevice: return "add-device";
+    case RecordType::kRemoveDevice: return "remove-device";
+    case RecordType::kResizeDevice: return "resize-device";
+    case RecordType::kFailDevice: return "fail-device";
+    case RecordType::kRebuild: return "rebuild";
+    case RecordType::kSetStrategy: return "set-strategy";
+    case RecordType::kSetScheme: return "set-scheme";
+    case RecordType::kCreateVolume: return "create-volume";
+    case RecordType::kDropVolume: return "drop-volume";
+    case RecordType::kFilePut: return "file-put";
+    case RecordType::kFileRemove: return "file-remove";
+  }
+  return "?";
+}
+
+Record make_add_device(const Device& device) {
+  Record r;
+  r.type = RecordType::kAddDevice;
+  r.device = device.uid;
+  r.capacity = device.capacity;
+  r.device_name = device.name;
+  return r;
+}
+
+Record make_remove_device(DeviceId uid) {
+  Record r;
+  r.type = RecordType::kRemoveDevice;
+  r.device = uid;
+  return r;
+}
+
+Record make_resize_device(DeviceId uid, std::uint64_t new_capacity) {
+  Record r;
+  r.type = RecordType::kResizeDevice;
+  r.device = uid;
+  r.capacity = new_capacity;
+  return r;
+}
+
+Record make_fail_device(DeviceId uid) {
+  Record r;
+  r.type = RecordType::kFailDevice;
+  r.device = uid;
+  return r;
+}
+
+Record make_rebuild() {
+  Record r;
+  r.type = RecordType::kRebuild;
+  return r;
+}
+
+Record make_set_strategy(std::string volume, PlacementKind kind) {
+  Record r;
+  r.type = RecordType::kSetStrategy;
+  r.volume = std::move(volume);
+  r.detail = std::string(rds::to_string(kind));
+  return r;
+}
+
+Record make_set_scheme(std::string volume, std::string scheme_name) {
+  Record r;
+  r.type = RecordType::kSetScheme;
+  r.volume = std::move(volume);
+  r.detail = std::move(scheme_name);
+  return r;
+}
+
+Record make_create_volume(std::string volume, std::string scheme_name,
+                          PlacementKind kind) {
+  Record r;
+  r.type = RecordType::kCreateVolume;
+  r.volume = std::move(volume);
+  r.detail = std::move(scheme_name);
+  r.device_name = std::string(rds::to_string(kind));
+  return r;
+}
+
+Record make_drop_volume(std::string volume) {
+  Record r;
+  r.type = RecordType::kDropVolume;
+  r.volume = std::move(volume);
+  return r;
+}
+
+Record make_file_put(std::string file, std::span<const std::uint8_t> content) {
+  Record r;
+  r.type = RecordType::kFilePut;
+  r.file = std::move(file);
+  r.content.assign(content.begin(), content.end());
+  r.content_hash = hash_bytes(content);
+  return r;
+}
+
+Record make_file_remove(std::string file) {
+  Record r;
+  r.type = RecordType::kFileRemove;
+  r.file = std::move(file);
+  return r;
+}
+
+Bytes encode_record(const Record& record) {
+  Bytes out;
+  put_u64(out, record.lsn);
+  put_u8(out, static_cast<std::uint8_t>(record.type));
+  switch (record.type) {
+    case RecordType::kAddDevice:
+      put_u64(out, record.device);
+      put_u64(out, record.capacity);
+      put_string(out, record.device_name);
+      break;
+    case RecordType::kRemoveDevice:
+    case RecordType::kFailDevice:
+      put_u64(out, record.device);
+      break;
+    case RecordType::kResizeDevice:
+      put_u64(out, record.device);
+      put_u64(out, record.capacity);
+      break;
+    case RecordType::kRebuild:
+      break;
+    case RecordType::kSetStrategy:
+    case RecordType::kSetScheme:
+      put_string(out, record.volume);
+      put_string(out, record.detail);
+      break;
+    case RecordType::kCreateVolume:
+      put_string(out, record.volume);
+      put_string(out, record.detail);
+      put_string(out, record.device_name);  // placement kind name
+      break;
+    case RecordType::kDropVolume:
+      put_string(out, record.volume);
+      break;
+    case RecordType::kFilePut:
+      put_string(out, record.file);
+      put_u64(out, record.content_hash);
+      put_bytes(out, record.content);
+      break;
+    case RecordType::kFileRemove:
+      put_string(out, record.file);
+      break;
+  }
+  return out;
+}
+
+Result<Record> decode_record(std::span<const std::uint8_t> payload) {
+  Cursor in(payload);
+  Record r;
+  r.lsn = in.u64();
+  const std::uint8_t tag = in.u8();
+  if (in.failed()) {
+    return Error{ErrorCode::kCorruption, "record payload truncated"};
+  }
+  if (tag < static_cast<std::uint8_t>(RecordType::kAddDevice) ||
+      tag > static_cast<std::uint8_t>(RecordType::kFileRemove)) {
+    return Error{ErrorCode::kCorruption,
+                 "unknown record type tag " + std::to_string(tag)};
+  }
+  r.type = static_cast<RecordType>(tag);
+  switch (r.type) {
+    case RecordType::kAddDevice:
+      r.device = in.u64();
+      r.capacity = in.u64();
+      r.device_name = in.string();
+      break;
+    case RecordType::kRemoveDevice:
+    case RecordType::kFailDevice:
+      r.device = in.u64();
+      break;
+    case RecordType::kResizeDevice:
+      r.device = in.u64();
+      r.capacity = in.u64();
+      break;
+    case RecordType::kRebuild:
+      break;
+    case RecordType::kSetStrategy:
+    case RecordType::kSetScheme:
+      r.volume = in.string();
+      r.detail = in.string();
+      break;
+    case RecordType::kCreateVolume:
+      r.volume = in.string();
+      r.detail = in.string();
+      r.device_name = in.string();
+      break;
+    case RecordType::kDropVolume:
+      r.volume = in.string();
+      break;
+    case RecordType::kFilePut:
+      r.file = in.string();
+      r.content_hash = in.u64();
+      r.content = in.bytes();
+      break;
+    case RecordType::kFileRemove:
+      r.file = in.string();
+      break;
+  }
+  if (in.failed()) {
+    return Error{ErrorCode::kCorruption,
+                 "record payload truncated (" + std::string(to_string(r.type)) +
+                     ")"};
+  }
+  if (!in.exhausted()) {
+    return Error{ErrorCode::kCorruption,
+                 "record payload has trailing bytes (" +
+                     std::string(to_string(r.type)) + ")"};
+  }
+  return r;
+}
+
+}  // namespace rds::journal

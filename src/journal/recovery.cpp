@@ -1,0 +1,414 @@
+#include "src/journal/recovery.hpp"
+
+#include <array>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "src/metrics/registry.hpp"
+#include "src/metrics/scoped_timer.hpp"
+#include "src/placement/strategy_factory.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/hash.hpp"
+
+namespace rds::journal {
+namespace {
+
+void put_le64(std::ostream& out, std::uint64_t v,
+              std::array<std::uint8_t, 8>& bytes) {
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(bytes.data()), 8);
+}
+
+void write_checkpoint_header(std::ostream& out, Lsn watermark) {
+  out.write(kCheckpointMagic, 8);
+  std::array<std::uint8_t, 8> bytes{};
+  put_le64(out, watermark, bytes);
+  const std::uint32_t crc = crc32(bytes);
+  std::array<std::uint8_t, 4> crc_bytes{};
+  for (int i = 0; i < 4; ++i) {
+    crc_bytes[i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(crc_bytes.data()), 4);
+  if (!out) throw std::runtime_error("checkpoint: header write failed");
+}
+
+/// Runs a throwing mutation, mapping its exception taxonomy onto Result.
+template <typename Fn>
+Result<void> guarded(Fn&& fn) {
+  try {
+    fn();
+    return {};
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  } catch (const std::out_of_range& e) {
+    return Error{ErrorCode::kNotFound, e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kIoError, e.what()};
+  }
+}
+
+Result<PlacementKind> parse_kind(const std::string& name) {
+  const std::optional<PlacementKind> kind = parse_placement_kind(name);
+  if (!kind) {
+    return Error{ErrorCode::kCorruption,
+                 "unknown placement kind '" + name + "'"};
+  }
+  return *kind;
+}
+
+// ---- per-target record application ----------------------------------------
+
+Result<void> apply(VirtualDisk& disk, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kAddDevice:
+      return disk.try_add_device(
+          Device{rec.device, rec.capacity, rec.device_name});
+    case RecordType::kRemoveDevice:
+      return disk.try_remove_device(rec.device);
+    case RecordType::kResizeDevice:
+      return disk.try_resize_device(rec.device, rec.capacity);
+    case RecordType::kFailDevice:
+      return guarded([&] { disk.fail_device(rec.device); });
+    case RecordType::kRebuild:
+      return guarded([&] { disk.rebuild(); });
+    case RecordType::kSetStrategy: {
+      if (!rec.volume.empty()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "volume-scoped record replayed against a standalone "
+                     "disk"};
+      }
+      Result<PlacementKind> kind = parse_kind(rec.detail);
+      if (!kind.ok()) return kind.error();
+      return disk.try_set_strategy(kind.value());
+    }
+    case RecordType::kSetScheme: {
+      if (!rec.volume.empty()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "volume-scoped record replayed against a standalone "
+                     "disk"};
+      }
+      std::shared_ptr<RedundancyScheme> scheme;
+      try {
+        scheme = make_scheme_from_name(rec.detail);
+      } catch (const std::invalid_argument& e) {
+        return Error{ErrorCode::kCorruption, e.what()};
+      }
+      return disk.try_set_scheme(std::move(scheme));
+    }
+    case RecordType::kCreateVolume:
+    case RecordType::kDropVolume:
+      return Error{ErrorCode::kInvalidArgument,
+                   "pool record replayed against a standalone disk"};
+    case RecordType::kFilePut:
+    case RecordType::kFileRemove:
+      return Error{ErrorCode::kInvalidArgument,
+                   "file-store record replayed against a bare disk"};
+  }
+  return Error{ErrorCode::kCorruption, "unknown record type"};
+}
+
+Result<void> apply(StoragePool& pool, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kAddDevice:
+      return guarded([&] {
+        pool.add_device(Device{rec.device, rec.capacity, rec.device_name});
+      });
+    case RecordType::kRemoveDevice:
+      return guarded([&] { pool.remove_device(rec.device); });
+    case RecordType::kResizeDevice:
+      return guarded([&] { pool.resize_device(rec.device, rec.capacity); });
+    case RecordType::kFailDevice:
+      return guarded([&] { pool.fail_device(rec.device); });
+    case RecordType::kRebuild:
+      return guarded([&] { pool.rebuild(); });
+    case RecordType::kSetStrategy: {
+      if (rec.volume.empty()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "disk-scoped record replayed against a pool"};
+      }
+      Result<PlacementKind> kind = parse_kind(rec.detail);
+      if (!kind.ok()) return kind.error();
+      return guarded(
+          [&] { pool.set_volume_strategy(rec.volume, kind.value()); });
+    }
+    case RecordType::kSetScheme: {
+      if (rec.volume.empty()) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "disk-scoped record replayed against a pool"};
+      }
+      std::shared_ptr<RedundancyScheme> scheme;
+      try {
+        scheme = make_scheme_from_name(rec.detail);
+      } catch (const std::invalid_argument& e) {
+        return Error{ErrorCode::kCorruption, e.what()};
+      }
+      return guarded(
+          [&] { pool.set_volume_scheme(rec.volume, std::move(scheme)); });
+    }
+    case RecordType::kCreateVolume: {
+      Result<PlacementKind> kind = parse_kind(rec.device_name);
+      if (!kind.ok()) return kind.error();
+      std::shared_ptr<RedundancyScheme> scheme;
+      try {
+        scheme = make_scheme_from_name(rec.detail);
+      } catch (const std::invalid_argument& e) {
+        return Error{ErrorCode::kCorruption, e.what()};
+      }
+      return guarded([&] {
+        pool.create_volume(rec.volume, std::move(scheme), kind.value());
+      });
+    }
+    case RecordType::kDropVolume:
+      return guarded([&] { pool.drop_volume(rec.volume); });
+    case RecordType::kFilePut:
+    case RecordType::kFileRemove:
+      return Error{ErrorCode::kInvalidArgument,
+                   "file-store record replayed against a pool"};
+  }
+  return Error{ErrorCode::kCorruption, "unknown record type"};
+}
+
+Result<void> apply(FileStore& store, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kFilePut:
+      if (hash_bytes(rec.content) != rec.content_hash) {
+        return Error{ErrorCode::kCorruption,
+                     "content fingerprint mismatch for '" + rec.file + "'"};
+      }
+      return guarded([&] { store.put(rec.file, rec.content); });
+    case RecordType::kFileRemove:
+      return guarded([&] { store.remove(rec.file); });
+    default:
+      // Topology records target the store's underlying disk.
+      return apply(store.disk(), rec);
+  }
+}
+
+bool target_reshaping(VirtualDisk& disk) { return disk.reshaping(); }
+
+bool target_reshaping(StoragePool& pool) {
+  for (const std::string& name : pool.volume_names()) {
+    if (pool.volume(name).reshaping()) return true;
+  }
+  return false;
+}
+
+bool target_reshaping(FileStore& store) { return store.disk().reshaping(); }
+
+// ---- the replay loop -------------------------------------------------------
+
+template <typename Target>
+Result<ReplayReport> replay_impl(Target& target, Lsn watermark,
+                                 std::istream& journal_in,
+                                 const RecoveryOptions& options) {
+  if (target_reshaping(target)) {
+    return Error{ErrorCode::kReshapeInProgress,
+                 "journal replay: drain the target's reshape before "
+                 "replaying"};
+  }
+  metrics::Registry& reg = metrics::Registry::global();
+  metrics::Counter& replayed = reg.counter("rds_journal_replayed_records_total");
+  metrics::Counter& corrupt = reg.counter("rds_journal_replay_corrupt_total");
+  metrics::ScopedTimer span(reg.histogram("rds_journal_replay_latency_ns"));
+
+  JournalReader reader(journal_in);
+  ReplayReport report;
+  report.watermark = watermark;
+  report.last_applied = watermark;
+  for (;;) {
+    Result<std::optional<Record>> next = reader.next();
+    if (!next.ok()) {
+      corrupt.inc();
+      if (options.strict) return next.error();
+      report.tail_corrupt = true;
+      report.tail_error = next.error().message;
+      break;
+    }
+    std::optional<Record> frame = std::move(next).take();
+    if (!frame) break;  // clean end of journal
+    const Record& rec = *frame;
+    if (rec.lsn <= watermark) {
+      ++report.records_skipped;
+      continue;
+    }
+    Result<void> applied = apply(target, rec);
+    if (!applied.ok()) {
+      return Error{applied.code(),
+                   "journal replay: record lsn=" + std::to_string(rec.lsn) +
+                       " (" + std::string(to_string(rec.type)) +
+                       "): " + applied.error().message};
+    }
+    ++report.records_applied;
+    report.last_applied = rec.lsn;
+    replayed.inc();
+  }
+  return report;
+}
+
+template <typename Loader>
+auto recover_impl(std::istream& checkpoint_in, std::istream* journal_in,
+                  const RecoveryOptions& options, Loader&& load)
+    -> Result<std::pair<decltype(load(checkpoint_in)), ReplayReport>> {
+  using Target = decltype(load(checkpoint_in));
+  Result<Lsn> watermark = read_checkpoint_header(checkpoint_in);
+  if (!watermark.ok()) return watermark.error();
+  std::optional<Target> target;
+  try {
+    target.emplace(load(checkpoint_in));
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kCorruption,
+                 std::string("checkpoint: ") + e.what()};
+  }
+  ReplayReport report;
+  report.watermark = watermark.value();
+  report.last_applied = watermark.value();
+  if (journal_in) {
+    Result<ReplayReport> replayed =
+        replay_impl(*target, watermark.value(), *journal_in, options);
+    if (!replayed.ok()) return replayed.error();
+    report = std::move(replayed).take();
+  }
+  metrics::Registry::global().counter("rds_journal_recoveries_total").inc();
+  return std::pair<Target, ReplayReport>{std::move(*target),
+                                         std::move(report)};
+}
+
+void bump_checkpoint_metric() {
+  metrics::Registry::global().counter("rds_journal_checkpoints_total").inc();
+}
+
+}  // namespace
+
+void write_checkpoint(const VirtualDisk& disk, Lsn watermark,
+                      std::ostream& out) {
+  write_checkpoint_header(out, watermark);
+  Snapshot::save_disk(disk, out);
+  bump_checkpoint_metric();
+}
+
+void write_checkpoint(const StoragePool& pool, Lsn watermark,
+                      std::ostream& out) {
+  write_checkpoint_header(out, watermark);
+  Snapshot::save_pool(pool, out);
+  bump_checkpoint_metric();
+}
+
+void write_checkpoint(const FileStore& store, Lsn watermark,
+                      std::ostream& out) {
+  write_checkpoint_header(out, watermark);
+  Snapshot::save_file_store(store, out);
+  bump_checkpoint_metric();
+}
+
+Lsn checkpoint(const VirtualDisk& disk, JournalWriter& writer,
+               std::ostream& snapshot_out, std::ostream& fresh_journal) {
+  const Lsn watermark = writer.last_lsn();
+  write_checkpoint(disk, watermark, snapshot_out);
+  writer.rotate(fresh_journal);
+  return watermark;
+}
+
+Lsn checkpoint(const StoragePool& pool, JournalWriter& writer,
+               std::ostream& snapshot_out, std::ostream& fresh_journal) {
+  const Lsn watermark = writer.last_lsn();
+  write_checkpoint(pool, watermark, snapshot_out);
+  writer.rotate(fresh_journal);
+  return watermark;
+}
+
+Lsn checkpoint(const FileStore& store, JournalWriter& writer,
+               std::ostream& snapshot_out, std::ostream& fresh_journal) {
+  const Lsn watermark = writer.last_lsn();
+  write_checkpoint(store, watermark, snapshot_out);
+  writer.rotate(fresh_journal);
+  return watermark;
+}
+
+Result<Lsn> read_checkpoint_header(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), 8);
+  if (in.gcount() != 8 ||
+      std::string_view(magic.data(), 8) != std::string_view(kCheckpointMagic, 8)) {
+    return Error{ErrorCode::kCorruption, "checkpoint header: bad magic/version"};
+  }
+  std::array<std::uint8_t, 8> lsn_bytes{};
+  std::array<std::uint8_t, 4> crc_bytes{};
+  in.read(reinterpret_cast<char*>(lsn_bytes.data()), 8);
+  if (in.gcount() != 8) {
+    return Error{ErrorCode::kCorruption, "checkpoint header: truncated"};
+  }
+  in.read(reinterpret_cast<char*>(crc_bytes.data()), 4);
+  if (in.gcount() != 4) {
+    return Error{ErrorCode::kCorruption, "checkpoint header: truncated"};
+  }
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(crc_bytes[i]) << (8 * i);
+  }
+  if (crc != crc32(lsn_bytes)) {
+    return Error{ErrorCode::kCorruption,
+                 "checkpoint header: watermark checksum mismatch"};
+  }
+  Lsn watermark = 0;
+  for (int i = 0; i < 8; ++i) {
+    watermark |= static_cast<Lsn>(lsn_bytes[i]) << (8 * i);
+  }
+  return watermark;
+}
+
+Result<DiskRecovery> Recovery::recover_disk(std::istream& checkpoint_in,
+                                            std::istream* journal_in,
+                                            const RecoveryOptions& options) {
+  auto recovered = recover_impl(
+      checkpoint_in, journal_in, options,
+      [](std::istream& in) { return Snapshot::load_disk(in); });
+  if (!recovered.ok()) return recovered.error();
+  auto [disk, report] = std::move(recovered).take();
+  return DiskRecovery{std::move(disk), std::move(report)};
+}
+
+Result<PoolRecovery> Recovery::recover_pool(std::istream& checkpoint_in,
+                                            std::istream* journal_in,
+                                            const RecoveryOptions& options) {
+  auto recovered = recover_impl(
+      checkpoint_in, journal_in, options,
+      [](std::istream& in) { return Snapshot::load_pool(in); });
+  if (!recovered.ok()) return recovered.error();
+  auto [pool, report] = std::move(recovered).take();
+  return PoolRecovery{std::move(pool), std::move(report)};
+}
+
+Result<FileStoreRecovery> Recovery::recover_file_store(
+    std::istream& checkpoint_in, std::istream* journal_in,
+    const RecoveryOptions& options) {
+  auto recovered = recover_impl(
+      checkpoint_in, journal_in, options,
+      [](std::istream& in) { return Snapshot::load_file_store(in); });
+  if (!recovered.ok()) return recovered.error();
+  auto [store, report] = std::move(recovered).take();
+  return FileStoreRecovery{std::move(store), std::move(report)};
+}
+
+Result<ReplayReport> Recovery::replay(VirtualDisk& disk, Lsn watermark,
+                                      std::istream& journal_in,
+                                      const RecoveryOptions& options) {
+  return replay_impl(disk, watermark, journal_in, options);
+}
+
+Result<ReplayReport> Recovery::replay(StoragePool& pool, Lsn watermark,
+                                      std::istream& journal_in,
+                                      const RecoveryOptions& options) {
+  return replay_impl(pool, watermark, journal_in, options);
+}
+
+Result<ReplayReport> Recovery::replay(FileStore& store, Lsn watermark,
+                                      std::istream& journal_in,
+                                      const RecoveryOptions& options) {
+  return replay_impl(store, watermark, journal_in, options);
+}
+
+}  // namespace rds::journal

@@ -1,0 +1,37 @@
+#include "src/journal/torn_write.hpp"
+
+namespace rds::journal {
+
+TornWriteStream::TornWriteStream(std::ostream& inner, Options options)
+    : std::ostream(nullptr), buf_(inner, options) {
+  rdbuf(&buf_);
+}
+
+TornWriteStream::TearBuf::int_type TornWriteStream::TearBuf::overflow(
+    int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return traits_type::not_eof(ch);
+  }
+  put_byte(static_cast<std::uint8_t>(traits_type::to_char_type(ch)));
+  return ch;
+}
+
+std::streamsize TornWriteStream::TearBuf::xsputn(const char* s,
+                                                 std::streamsize n) {
+  for (std::streamsize i = 0; i < n; ++i) {
+    put_byte(static_cast<std::uint8_t>(s[i]));
+  }
+  return n;  // the writer believes every byte landed -- that is the fault
+}
+
+void TornWriteStream::TearBuf::put_byte(std::uint8_t b) {
+  const std::uint64_t at = offset_++;
+  if (options_.mode == Mode::kTruncate) {
+    if (at >= options_.fail_offset) return;  // lost in the crash
+  } else if (at == options_.fail_offset) {
+    b ^= static_cast<std::uint8_t>(1u << (options_.bit % 8));
+  }
+  inner_->put(static_cast<char>(b));
+}
+
+}  // namespace rds::journal

@@ -1,0 +1,62 @@
+// Torn-write fault injector for the journal's recovery tests.
+//
+// A std::ostream that forwards bytes to an inner stream until a configured
+// failure point, then tears the write: either every byte from the failure
+// offset on is silently discarded (a crash mid-write -- the tail of the
+// frame never reached the platter), or exactly one bit of one byte is
+// flipped and writing continues (a sector going bad under the journal).
+// The stream itself never reports an error -- that is the fault model: the
+// writer believes the append committed, and only recovery discovers the
+// damage.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+
+namespace rds::journal {
+
+class TornWriteStream final : public std::ostream {
+ public:
+  enum class Mode {
+    kTruncate,  ///< bytes [0, fail_offset) land; the rest is lost
+    kBitFlip,   ///< the byte at fail_offset lands with one bit flipped
+  };
+
+  struct Options {
+    std::uint64_t fail_offset = 0;
+    Mode mode = Mode::kTruncate;
+    unsigned bit = 0;  ///< which bit (0-7) kBitFlip flips
+  };
+
+  TornWriteStream(std::ostream& inner, Options options);
+
+  /// Bytes the writer offered (not how many survived the fault).
+  [[nodiscard]] std::uint64_t bytes_offered() const noexcept {
+    return buf_.offered();
+  }
+
+ private:
+  class TearBuf final : public std::streambuf {
+   public:
+    TearBuf(std::ostream& inner, Options options)
+        : inner_(&inner), options_(options) {}
+
+    [[nodiscard]] std::uint64_t offered() const noexcept { return offset_; }
+
+   protected:
+    int_type overflow(int_type ch) override;
+    std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+   private:
+    void put_byte(std::uint8_t b);
+
+    std::ostream* inner_;
+    Options options_;
+    std::uint64_t offset_ = 0;
+  };
+
+  TearBuf buf_;
+};
+
+}  // namespace rds::journal

@@ -52,6 +52,18 @@ std::uint64_t DeviceStore::used_by_volume(std::uint32_t volume) const {
   return count;
 }
 
+void DeviceStore::resize(std::uint64_t new_capacity) {
+  if (new_capacity == 0) {
+    throw std::invalid_argument("DeviceStore: zero capacity: " + device_.name);
+  }
+  if (new_capacity < data_.size()) {
+    throw std::invalid_argument(
+        "DeviceStore: cannot shrink " + device_.name + " below its " +
+        std::to_string(data_.size()) + " stored fragments");
+  }
+  device_.capacity = new_capacity;
+}
+
 bool DeviceStore::corrupt(const FragmentKey& key) {
   const auto it = data_.find(key);
   if (it == data_.end()) return false;

@@ -68,6 +68,11 @@ class DeviceStore {
     return data_;
   }
 
+  /// Changes the device's capacity (in fragments).  Throws
+  /// std::invalid_argument on zero or on a capacity below the current
+  /// occupancy -- callers drain fragments off before shrinking.
+  void resize(std::uint64_t new_capacity);
+
   /// Simulates a crash: all stored data becomes unreadable.
   void fail() noexcept { failed_ = true; }
 

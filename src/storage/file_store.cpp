@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "src/journal/journal.hpp"
+#include "src/journal/record.hpp"
 
 namespace rds {
 
@@ -52,19 +56,29 @@ void FileStore::put(const std::string& name,
   } else {
     files_.emplace(name, std::move(entry));
   }
+  journal_append(journal::make_file_put(name, content));
 }
 
-std::optional<Bytes> FileStore::get(const std::string& name) {
+Result<std::optional<Bytes>> FileStore::try_get(const std::string& name) {
   const auto it = files_.find(name);
-  if (it == files_.end()) return std::nullopt;
+  if (it == files_.end()) return std::optional<Bytes>{};
   Bytes content;
   content.reserve(it->second.size);
   for (const std::uint64_t id : it->second.block_ids) {
-    const Bytes block = disk_.read(id);
-    content.insert(content.end(), block.begin(), block.end());
+    Result<Bytes> block = disk_.try_read(id);
+    if (!block.ok()) {
+      return Error{block.code(), "FileStore: '" + name + "' block " +
+                                     std::to_string(id) + ": " +
+                                     block.error().message};
+    }
+    content.insert(content.end(), block.value().begin(), block.value().end());
   }
   content.resize(it->second.size);
-  return content;
+  return std::optional<Bytes>{std::move(content)};
+}
+
+std::optional<Bytes> FileStore::get(const std::string& name) {
+  return try_get(name).value_or_throw();
 }
 
 bool FileStore::remove(const std::string& name) {
@@ -72,7 +86,24 @@ bool FileStore::remove(const std::string& name) {
   if (it == files_.end()) return false;
   release_blocks(it->second);
   files_.erase(it);
+  journal_append(journal::make_file_remove(name));
   return true;
+}
+
+void FileStore::set_journal(std::shared_ptr<journal::JournalSink> sink) {
+  journal_ = sink;
+  disk_.set_journal(std::move(sink));
+}
+
+void FileStore::journal_append(const journal::Record& record) {
+  if (!journal_) return;
+  const Result<journal::Lsn> appended = journal_->append(record);
+  if (!appended.ok()) {
+    throw std::runtime_error(
+        "FileStore: operation committed in memory but journaling failed; "
+        "snapshot and rotate the journal before further mutations: " +
+        appended.error().message);
+  }
 }
 
 std::vector<FileInfo> FileStore::list() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -34,8 +35,13 @@ class FileStore {
   /// Creates or replaces a file.
   void put(const std::string& name, std::span<const std::uint8_t> content);
 
-  /// Reads a file back; nullopt when absent.  Throws std::runtime_error if
-  /// too many devices failed to reconstruct some block.
+  /// Reads a file back.  ok(nullopt) when the file does not exist; an
+  /// error (kUnrecoverable, kIoError, ...) naming the failing block when a
+  /// stored file cannot be reconstructed.
+  [[nodiscard]] Result<std::optional<Bytes>> try_get(const std::string& name);
+
+  /// Reads a file back; nullopt when absent.  Throwing wrapper over
+  /// try_get (value_or_throw's exception mapping).
   [[nodiscard]] std::optional<Bytes> get(const std::string& name);
 
   /// Deletes a file, releasing its blocks.  Returns whether it existed.
@@ -54,7 +60,14 @@ class FileStore {
   [[nodiscard]] VirtualDisk& disk() noexcept { return disk_; }
   [[nodiscard]] const VirtualDisk& disk() const noexcept { return disk_; }
 
+  /// Attaches a journal sink to the store AND its disk: file mutations
+  /// (put/remove, with content fingerprints) and the disk's topology
+  /// mutations land in one commit-ordered journal (docs/persistence.md).
+  /// Pass nullptr to detach both.
+  void set_journal(std::shared_ptr<journal::JournalSink> sink);
+
  private:
+  friend class Snapshot;
   struct FileEntry {
     std::vector<std::uint64_t> block_ids;
     std::uint64_t size = 0;
@@ -63,11 +76,16 @@ class FileStore {
   [[nodiscard]] std::uint64_t allocate_block();
   void release_blocks(const FileEntry& entry);
 
+  /// Appends a record to the attached journal (no-op without one); throws
+  /// std::runtime_error if the append fails after the mutation committed.
+  void journal_append(const journal::Record& record);
+
   VirtualDisk disk_;
   std::size_t block_size_;
   std::map<std::string, FileEntry> files_;
   std::vector<std::uint64_t> free_blocks_;
   std::uint64_t next_block_ = 0;
+  std::shared_ptr<journal::JournalSink> journal_;
 };
 
 }  // namespace rds

@@ -1,8 +1,10 @@
 #include "src/storage/snapshot.hpp"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 #include "src/storage/erasure/evenodd.hpp"
 #include "src/storage/erasure/rdp.hpp"
@@ -12,6 +14,7 @@ namespace {
 
 constexpr char kDiskMagic[] = "RDSDISK1";
 constexpr char kPoolMagic[] = "RDSPOOL1";
+constexpr char kFileStoreMagic[] = "RDSFSTO1";
 
 // ---- little-endian primitives ---------------------------------------------
 
@@ -206,33 +209,49 @@ VirtualDisk Snapshot::get_volume_meta(
 
 std::shared_ptr<RedundancyScheme> make_scheme_from_name(
     const std::string& name) {
-  const auto number_after = [&](const std::string& prefix) -> unsigned {
-    return static_cast<unsigned>(
-        std::stoul(name.substr(prefix.size())));
+  const auto bad = [&](const std::string& why) {
+    return std::invalid_argument("make_scheme_from_name: " + why + ": '" +
+                                 name + "'");
   };
-  try {
-    if (name.starts_with("mirror(k=")) {
-      return std::make_shared<MirroringScheme>(number_after("mirror(k="));
+  // Strict unsigned parse: the whole token must be digits and fit.
+  const auto number = [&](std::string_view token) -> unsigned {
+    unsigned value = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      throw bad("number out of range");
     }
-    if (name.starts_with("reed-solomon(")) {
-      const std::size_t plus = name.find('+');
-      const unsigned d = static_cast<unsigned>(
-          std::stoul(name.substr(13, plus - 13)));
-      const unsigned p =
-          static_cast<unsigned>(std::stoul(name.substr(plus + 1)));
-      return std::make_shared<ReedSolomonScheme>(d, p);
+    if (ec != std::errc{} || end != token.data() + token.size() ||
+        token.empty()) {
+      throw bad("malformed number '" + std::string(token) + "'");
     }
-    if (name.starts_with("evenodd(p=")) {
-      return std::make_shared<EvenOddScheme>(number_after("evenodd(p="));
-    }
-    if (name.starts_with("rdp(p=")) {
-      return std::make_shared<RdpScheme>(number_after("rdp(p="));
-    }
-  } catch (const std::exception&) {
-    // fall through to the uniform error below
+    return value;
+  };
+  // The parameter list between `prefix` and a ')' that must end the string.
+  const auto inner = [&](std::string_view prefix) -> std::string_view {
+    std::string_view rest = std::string_view(name).substr(prefix.size());
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) throw bad("missing ')'");
+    if (close + 1 != rest.size()) throw bad("trailing characters after ')'");
+    return rest.substr(0, close);
+  };
+  if (name.starts_with("mirror(k=")) {
+    return std::make_shared<MirroringScheme>(number(inner("mirror(k=")));
   }
-  throw std::invalid_argument("make_scheme_from_name: unknown scheme: " +
-                              name);
+  if (name.starts_with("reed-solomon(")) {
+    const std::string_view body = inner("reed-solomon(");
+    const std::size_t plus = body.find('+');
+    if (plus == std::string_view::npos) throw bad("expected 'D+P'");
+    return std::make_shared<ReedSolomonScheme>(number(body.substr(0, plus)),
+                                               number(body.substr(plus + 1)));
+  }
+  if (name.starts_with("evenodd(p=")) {
+    return std::make_shared<EvenOddScheme>(number(inner("evenodd(p=")));
+  }
+  if (name.starts_with("rdp(p=")) {
+    return std::make_shared<RdpScheme>(number(inner("rdp(p=")));
+  }
+  throw bad("unknown scheme kind");
 }
 
 void Snapshot::save_disk(const VirtualDisk& disk, std::ostream& out) {
@@ -315,6 +334,46 @@ StoragePool Snapshot::load_pool(std::istream& in) {
     }
   }
   return pool;
+}
+
+void Snapshot::save_file_store(const FileStore& store, std::ostream& out) {
+  out.write(kFileStoreMagic, 8);
+  put_u64(out, store.block_size_);
+  put_u64(out, store.next_block_);
+  put_u64(out, store.free_blocks_.size());
+  for (const std::uint64_t id : store.free_blocks_) put_u64(out, id);
+  put_u32(out, static_cast<std::uint32_t>(store.files_.size()));
+  for (const auto& [name, entry] : store.files_) {
+    put_string(out, name);
+    put_u64(out, entry.size);
+    put_u64(out, entry.block_ids.size());
+    for (const std::uint64_t id : entry.block_ids) put_u64(out, id);
+  }
+  save_disk(store.disk_, out);
+  if (!out) throw std::runtime_error("Snapshot: write failed");
+}
+
+FileStore Snapshot::load_file_store(std::istream& in) {
+  expect_magic(in, kFileStoreMagic);
+  const std::uint64_t block_size = get_u64(in);
+  const std::uint64_t next_block = get_u64(in);
+  std::vector<std::uint64_t> free_blocks(get_u64(in));
+  for (std::uint64_t& id : free_blocks) id = get_u64(in);
+  std::map<std::string, FileStore::FileEntry> files;
+  const std::uint32_t n_files = get_u32(in);
+  for (std::uint32_t i = 0; i < n_files; ++i) {
+    std::string name = get_string(in);
+    FileStore::FileEntry entry;
+    entry.size = get_u64(in);
+    entry.block_ids.resize(get_u64(in));
+    for (std::uint64_t& id : entry.block_ids) id = get_u64(in);
+    files.emplace(std::move(name), std::move(entry));
+  }
+  FileStore store(load_disk(in), static_cast<std::size_t>(block_size));
+  store.files_ = std::move(files);
+  store.free_blocks_ = std::move(free_blocks);
+  store.next_block_ = next_block;
+  return store;
 }
 
 }  // namespace rds

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "src/storage/file_store.hpp"
 #include "src/storage/storage_pool.hpp"
 #include "src/storage/virtual_disk.hpp"
 
@@ -18,7 +19,10 @@ namespace rds {
 
 /// Reconstructs a redundancy scheme from its name() string
 /// ("mirror(k=2)", "reed-solomon(4+2)", "evenodd(p=5)", "rdp(p=7)").
-/// Throws std::invalid_argument on anything else.
+/// Parsing is strict: the whole string must be consumed (no trailing
+/// garbage), numbers must fit an unsigned, and the scheme constructors'
+/// own validation (zero shards, non-prime p, ...) applies.  Throws
+/// std::invalid_argument with a message naming what was wrong.
 [[nodiscard]] std::shared_ptr<RedundancyScheme> make_scheme_from_name(
     const std::string& name);
 
@@ -36,6 +40,11 @@ class Snapshot {
   /// Serializes a pool: shared stores once, then every volume's metadata.
   static void save_pool(const StoragePool& pool, std::ostream& out);
   static StoragePool load_pool(std::istream& in);
+
+  /// Serializes a file store: the file table, free list and block
+  /// allocator, then the underlying disk (save_disk format, embedded).
+  static void save_file_store(const FileStore& store, std::ostream& out);
+  static FileStore load_file_store(std::istream& in);
 
  private:
   // Volume metadata section (needs VirtualDisk friendship; stores are

@@ -1,7 +1,10 @@
 #include "src/storage/storage_pool.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "src/journal/journal.hpp"
+#include "src/journal/record.hpp"
 #include "src/metrics/registry.hpp"
 
 namespace rds {
@@ -19,12 +22,30 @@ VirtualDisk& StoragePool::create_volume(
   if (volumes_.contains(name)) {
     throw std::invalid_argument("StoragePool: duplicate volume " + name);
   }
+  const std::string scheme_name = scheme ? scheme->name() : std::string{};
   auto disk = std::make_unique<VirtualDisk>(config_, std::move(scheme), kind,
                                             next_volume_id_++, stores_);
   VirtualDisk& ref = *disk;
   volumes_.emplace(name, std::move(disk));
   metrics::Registry::global().counter("rds_pool_volumes_created_total").inc();
+  journal_locked(journal::make_create_volume(name, scheme_name, kind));
   return ref;
+}
+
+void StoragePool::set_journal(std::shared_ptr<journal::JournalSink> sink) {
+  const MutexLock lock(mu_);
+  journal_ = std::move(sink);
+}
+
+void StoragePool::journal_locked(const journal::Record& record) {
+  if (!journal_) return;
+  const Result<journal::Lsn> appended = journal_->append(record);
+  if (!appended.ok()) {
+    throw std::runtime_error(
+        "StoragePool: operation committed in memory but journaling failed; "
+        "snapshot and rotate the journal before further mutations: " +
+        appended.error().message);
+  }
 }
 
 VirtualDisk& StoragePool::volume(const std::string& name) {
@@ -53,6 +74,7 @@ bool StoragePool::drop_volume(const std::string& name) {
     it->second->trim(block);
   }
   volumes_.erase(it);
+  journal_locked(journal::make_drop_volume(name));
   return true;
 }
 
@@ -81,6 +103,7 @@ void StoragePool::add_device(const Device& device) {
   }
   stores_.emplace(device.uid, std::move(store));
   config_.add_device(device);
+  journal_locked(journal::make_add_device(device));
 }
 
 void StoragePool::remove_device(DeviceId uid) {
@@ -94,6 +117,63 @@ void StoragePool::remove_device(DeviceId uid) {
   }
   stores_.erase(uid);
   config_.remove_device(uid);
+  journal_locked(journal::make_remove_device(uid));
+}
+
+void StoragePool::resize_device(DeviceId uid, std::uint64_t new_capacity) {
+  const MutexLock lock(mu_);
+  const auto it = stores_.find(uid);
+  if (it == stores_.end() || !config_.contains(uid)) {
+    throw std::out_of_range("StoragePool: unknown device");
+  }
+  if (it->second->failed()) {
+    throw std::invalid_argument(
+        "StoragePool: rebuild() before resizing a failed device");
+  }
+  ensure_no_reshape();
+  ClusterConfig next = config_;
+  next.resize_device(uid, new_capacity);  // validates zero capacity
+  const std::uint64_t old_capacity = it->second->capacity();
+  if (new_capacity == old_capacity) return;
+  if (new_capacity > old_capacity) {
+    it->second->resize(new_capacity);  // grow the store first
+    for (const auto& [name, disk] : volumes_) {
+      disk->apply_config(next).value_or_throw();
+    }
+  } else {
+    // Shrink: drain every volume off the lost capacity first; resize()
+    // then validates the store really is under the new cap.
+    for (const auto& [name, disk] : volumes_) {
+      disk->apply_config(next).value_or_throw();
+    }
+    it->second->resize(new_capacity);
+  }
+  config_ = std::move(next);
+  journal_locked(journal::make_resize_device(uid, new_capacity));
+}
+
+void StoragePool::set_volume_strategy(const std::string& name,
+                                      PlacementKind kind) {
+  const MutexLock lock(mu_);
+  const auto it = volumes_.find(name);
+  if (it == volumes_.end()) {
+    throw std::out_of_range("StoragePool: unknown volume " + name);
+  }
+  it->second->try_set_strategy(kind).value_or_throw();
+  journal_locked(journal::make_set_strategy(name, kind));
+}
+
+void StoragePool::set_volume_scheme(const std::string& name,
+                                    std::shared_ptr<RedundancyScheme> scheme) {
+  const MutexLock lock(mu_);
+  if (!scheme) throw std::invalid_argument("StoragePool: null scheme");
+  const auto it = volumes_.find(name);
+  if (it == volumes_.end()) {
+    throw std::out_of_range("StoragePool: unknown volume " + name);
+  }
+  const std::string scheme_name = scheme->name();
+  it->second->try_set_scheme(std::move(scheme)).value_or_throw();
+  journal_locked(journal::make_set_scheme(name, scheme_name));
 }
 
 void StoragePool::fail_device(DeviceId uid) {
@@ -103,6 +183,7 @@ void StoragePool::fail_device(DeviceId uid) {
     throw std::out_of_range("StoragePool: unknown device");
   }
   it->second->fail();
+  journal_locked(journal::make_fail_device(uid));
 }
 
 std::uint64_t StoragePool::rebuild() {
@@ -120,6 +201,7 @@ std::uint64_t StoragePool::rebuild() {
     stores_.erase(uid);
     config_.remove_device(uid);
   }
+  if (!dead.empty()) journal_locked(journal::make_rebuild());
   return rebuilt;
 }
 

@@ -60,6 +60,32 @@ class StoragePool {
   /// flight.
   void remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
+  /// Changes a pool device's capacity: growing extends the store then
+  /// migrates every volume onto the new room; shrinking drains every
+  /// volume off first, then clamps the store.  Throws std::out_of_range
+  /// for unknown devices, std::invalid_argument for failed devices or
+  /// capacities below the device's occupancy.
+  void resize_device(DeviceId uid, std::uint64_t new_capacity)
+      RDS_EXCLUDES(mu_);
+
+  /// Swaps one volume's placement strategy live (re-places only that
+  /// volume's fragments).  Throws std::out_of_range for unknown volumes.
+  void set_volume_strategy(const std::string& name, PlacementKind kind)
+      RDS_EXCLUDES(mu_);
+
+  /// Re-encodes one volume under a new redundancy scheme.  Throws
+  /// std::out_of_range for unknown volumes; error codes from
+  /// VirtualDisk::try_set_scheme surface as exceptions.
+  void set_volume_scheme(const std::string& name,
+                         std::shared_ptr<RedundancyScheme> scheme)
+      RDS_EXCLUDES(mu_);
+
+  /// Attaches a journal sink: every committed pool mutation is appended in
+  /// commit order (docs/persistence.md).  The sink's mutex is a leaf below
+  /// the pool -> volume lock order.  Pass nullptr to detach.
+  void set_journal(std::shared_ptr<journal::JournalSink> sink)
+      RDS_EXCLUDES(mu_);
+
   /// Crashes a device for every volume at once (stores are shared).
   void fail_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
@@ -94,6 +120,12 @@ class StoragePool {
   /// fail before mutating the first volume, not midway through.
   void ensure_no_reshape() const RDS_REQUIRES(mu_);
 
+  /// Appends a record to the attached journal (no-op without one).  Runs
+  /// after the in-memory mutation committed, inside the same critical
+  /// section, so journal order is commit order.  Throws std::runtime_error
+  /// if the append fails (the journal is now behind the pool).
+  void journal_locked(const journal::Record& record) RDS_REQUIRES(mu_);
+
   /// Serializes pool topology and the volume table; mutable so const
   /// observers (usage(), config(), ...) can take it.
   mutable Mutex mu_;
@@ -104,6 +136,7 @@ class StoragePool {
   std::map<std::string, std::unique_ptr<VirtualDisk>> volumes_
       RDS_GUARDED_BY(mu_);
   std::uint32_t next_volume_id_ RDS_GUARDED_BY(mu_) = 1;
+  std::shared_ptr<journal::JournalSink> journal_ RDS_GUARDED_BY(mu_);
 };
 
 }  // namespace rds

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "src/journal/journal.hpp"
+#include "src/journal/record.hpp"
 #include "src/metrics/scoped_timer.hpp"
 #include "src/util/hash.hpp"
 
@@ -279,11 +282,27 @@ Result<void> VirtualDisk::try_add_device(const Device& device) {
   }
   Result<std::size_t> migrated = apply_config_locked(std::move(next));
   if (!migrated.ok()) return migrated.error();
-  return {};
+  return journal_locked(journal::make_add_device(device));
 }
 
 void VirtualDisk::add_device(const Device& device) {
   try_add_device(device).value_or_throw();
+}
+
+void VirtualDisk::set_journal(std::shared_ptr<journal::JournalSink> sink) {
+  const MutexLock lock(mu_);
+  journal_ = std::move(sink);
+}
+
+Result<void> VirtualDisk::journal_locked(const journal::Record& record) {
+  if (!journal_) return {};
+  const Result<journal::Lsn> appended = journal_->append(record);
+  if (appended.ok()) return {};
+  return Error{appended.code(),
+               "VirtualDisk: operation committed in memory but journaling "
+               "failed; snapshot and rotate the journal before further "
+               "mutations: " +
+                   appended.error().message};
 }
 
 void VirtualDisk::attach_device(const Device& device,
@@ -314,16 +333,168 @@ Result<void> VirtualDisk::try_remove_device(DeviceId uid) {
   Result<std::size_t> migrated = apply_config_locked(std::move(next));
   if (!migrated.ok()) return migrated.error();
   stores_.erase(uid);
-  return {};
+  return journal_locked(journal::make_remove_device(uid));
 }
 
 void VirtualDisk::remove_device(DeviceId uid) {
   try_remove_device(uid).value_or_throw();
 }
 
+Result<void> VirtualDisk::try_resize_device(DeviceId uid,
+                                            std::uint64_t new_capacity) {
+  const MutexLock lock(mu_);
+  const auto it = stores_.find(uid);
+  if (it == stores_.end()) {
+    return Error{ErrorCode::kNotFound, "VirtualDisk: unknown device"};
+  }
+  if (it->second->failed()) {
+    return Error{ErrorCode::kDeviceFailed,
+                 "VirtualDisk: rebuild() required before resizing a failed "
+                 "device"};
+  }
+  ClusterConfig next = config_;
+  try {
+    next.resize_device(uid, new_capacity);
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  } catch (const std::out_of_range& e) {
+    return Error{ErrorCode::kNotFound, e.what()};
+  }
+  const std::uint64_t old_capacity = it->second->capacity();
+  if (new_capacity == old_capacity) return {};
+  if (new_capacity > old_capacity) {
+    // Grow: extend the store first so the migration can land fragments on
+    // the new room.
+    it->second->resize(new_capacity);
+    Result<std::size_t> migrated = apply_config_locked(std::move(next));
+    if (!migrated.ok()) {
+      it->second->resize(old_capacity);
+      return migrated.error();
+    }
+  } else {
+    // Shrink: drain fragments off under the smaller placement first, then
+    // clamp the store.
+    Result<std::size_t> migrated = apply_config_locked(std::move(next));
+    if (!migrated.ok()) return migrated.error();
+    try {
+      it->second->resize(new_capacity);
+    } catch (const std::invalid_argument& e) {
+      // Other volumes sharing this store still occupy it beyond the new
+      // capacity; the configuration shrank but the store kept its size.
+      return Error{ErrorCode::kIoError, e.what()};
+    }
+  }
+  return journal_locked(journal::make_resize_device(uid, new_capacity));
+}
+
+void VirtualDisk::resize_device(DeviceId uid, std::uint64_t new_capacity) {
+  try_resize_device(uid, new_capacity).value_or_throw();
+}
+
+Result<void> VirtualDisk::try_set_strategy(PlacementKind kind) {
+  const MutexLock lock(mu_);
+  if (kind == kind_) return {};
+  if (reshaping_locked()) {
+    return Error{ErrorCode::kReshapeInProgress,
+                 "VirtualDisk: reshape already in progress"};
+  }
+  const PlacementKind previous = kind_;
+  kind_ = kind;  // make_strategy() reads it inside apply_config_locked
+  Result<std::size_t> migrated = apply_config_locked(config_);
+  if (!migrated.ok()) {
+    kind_ = previous;
+    return migrated.error();
+  }
+  return journal_locked(journal::make_set_strategy("", kind));
+}
+
+void VirtualDisk::set_strategy(PlacementKind kind) {
+  try_set_strategy(kind).value_or_throw();
+}
+
+Result<void> VirtualDisk::try_set_scheme(
+    std::shared_ptr<RedundancyScheme> next) {
+  const MutexLock lock(mu_);
+  if (!next) {
+    return Error{ErrorCode::kInvalidArgument, "VirtualDisk: null scheme"};
+  }
+  if (next->name() == scheme_->name()) return {};
+  if (reshaping_locked()) {
+    return Error{ErrorCode::kReshapeInProgress,
+                 "VirtualDisk: reshape already in progress"};
+  }
+  for (const auto& [uid, store] : stores_) {
+    if (store->failed()) {
+      return Error{ErrorCode::kDeviceFailed,
+                   "VirtualDisk: rebuild() required before re-encoding a "
+                   "degraded pool"};
+    }
+  }
+  if (next->fragment_count() > config_.size()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "VirtualDisk: scheme needs " +
+                     std::to_string(next->fragment_count()) +
+                     " fragments but the pool has " +
+                     std::to_string(config_.size()) + " devices"};
+  }
+  std::shared_ptr<const ReplicationStrategy> next_strategy;
+  try {
+    next_strategy =
+        make_replication_strategy(kind_, config_, next->fragment_count());
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  }
+
+  // Decode every block up front: if any is unreadable, nothing is mutated.
+  std::vector<std::pair<std::uint64_t, Bytes>> contents;
+  contents.reserve(blocks_.size());
+  for (const auto& [block, size] : blocks_) {
+    Result<Bytes> data = read_locked(block);
+    if (!data.ok()) {
+      return Error{data.code(),
+                   "VirtualDisk: set_scheme aborted (nothing mutated); "
+                   "block " +
+                       std::to_string(block) +
+                       " is unreadable: " + data.error().message};
+    }
+    contents.emplace_back(block, std::move(data).take());
+  }
+
+  // Point of no return: drop the old encoding, swap, re-encode.
+  const unsigned old_k = scheme_->fragment_count();
+  for (const auto& [block, data] : contents) {
+    for (unsigned j = 0; j < old_k; ++j) {
+      for (auto& [uid, store] : stores_) store->erase({block, j, volume_id_});
+      checksums_.erase({block, j, volume_id_});
+    }
+  }
+  scheme_ = std::move(next);
+  strategy_ = std::move(next_strategy);
+  topology_events_total_->inc();
+  publish_epoch();
+  for (auto& [block, data] : contents) {
+    Result<void> written = write_locked(block, data);
+    if (!written.ok()) {
+      return Error{written.code(),
+                   "VirtualDisk: set_scheme re-encode failed at block " +
+                       std::to_string(block) +
+                       " (blocks before it are re-encoded, this one and "
+                       "later ones are lost): " +
+                       written.error().message};
+    }
+  }
+  for (const auto& [uid, store] : stores_) sync_device_gauge(uid);
+  return journal_locked(journal::make_set_scheme("", scheme_->name()));
+}
+
+void VirtualDisk::set_scheme(std::shared_ptr<RedundancyScheme> next) {
+  try_set_scheme(std::move(next)).value_or_throw();
+}
+
 void VirtualDisk::fail_device(DeviceId uid) {
   const MutexLock lock(mu_);
   stores_.at(uid)->fail();
+  journal_locked(journal::make_fail_device(uid)).value_or_throw();
 }
 
 bool VirtualDisk::corrupt_fragment(std::uint64_t block, unsigned fragment) {
@@ -350,6 +521,7 @@ std::uint64_t VirtualDisk::rebuild() {
   const std::uint64_t rebuilt_before = stats_.fragments_rebuilt;
   migrate_to_locked(std::move(next));
   for (const DeviceId uid : dead) stores_.erase(uid);
+  journal_locked(journal::make_rebuild()).value_or_throw();
   return stats_.fragments_rebuilt - rebuilt_before;
 }
 

@@ -43,6 +43,11 @@ namespace rds {
 
 class Snapshot;
 
+namespace journal {
+class JournalSink;
+struct Record;
+}  // namespace journal
+
 /// Immutable (strategy, config) pair concurrent readers place against.
 /// Published atomically by VirtualDisk on every committed topology change;
 /// a reader holding a snapshot keeps the whole pair alive, so placements
@@ -180,6 +185,41 @@ class VirtualDisk {
   [[nodiscard]] Result<void> try_remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
   void remove_device(DeviceId uid) RDS_EXCLUDES(mu_);
 
+  /// Changes a device's capacity in place.  Growing extends the store and
+  /// migrates fragments onto the new room; shrinking drains fragments off
+  /// first, then clamps the store.  kNotFound for unknown uids,
+  /// kDeviceFailed for failed devices, kInvalidArgument for capacities the
+  /// configuration rejects.  Result form + throwing wrapper.
+  [[nodiscard]] Result<void> try_resize_device(DeviceId uid,
+                                               std::uint64_t new_capacity)
+      RDS_EXCLUDES(mu_);
+  void resize_device(DeviceId uid, std::uint64_t new_capacity)
+      RDS_EXCLUDES(mu_);
+
+  /// Swaps the placement strategy live: every block is re-placed under the
+  /// new kind (same configuration), moving only the fragments whose homes
+  /// differ.  No-op when `kind` is already active.  kReshapeInProgress if a
+  /// reshape is in flight.  Result form + throwing wrapper.
+  [[nodiscard]] Result<void> try_set_strategy(PlacementKind kind)
+      RDS_EXCLUDES(mu_);
+  void set_strategy(PlacementKind kind) RDS_EXCLUDES(mu_);
+
+  /// Re-encodes every block under a new redundancy scheme (e.g. mirror ->
+  /// RS).  All blocks are decoded up front -- if any is unreadable, nothing
+  /// is mutated; a failure while re-writing reports how far it got.  No-op
+  /// when `next` names the active scheme.  kDeviceFailed on degraded pools
+  /// (rebuild() first), kInvalidArgument when the scheme needs more
+  /// fragments than there are devices.  Result form + throwing wrapper.
+  [[nodiscard]] Result<void> try_set_scheme(
+      std::shared_ptr<RedundancyScheme> next) RDS_EXCLUDES(mu_);
+  void set_scheme(std::shared_ptr<RedundancyScheme> next) RDS_EXCLUDES(mu_);
+
+  /// Attaches a journal sink: every committed topology mutation is appended
+  /// in commit order (docs/persistence.md).  The sink's own mutex is a leaf
+  /// below this disk's lock.  Pass nullptr to detach.
+  void set_journal(std::shared_ptr<journal::JournalSink> sink)
+      RDS_EXCLUDES(mu_);
+
   /// Incremental reshaping: starts migrating toward `next` without blocking.
   /// Returns the number of blocks that still need re-placement.  While a
   /// reshape is in flight, reads and writes work normally (each block is
@@ -241,8 +281,17 @@ class VirtualDisk {
     const MutexLock lock(mu_);
     return config_;
   }
-  [[nodiscard]] const RedundancyScheme& scheme() const noexcept {
+  /// Committed redundancy scheme; same validity rule as strategy() -- it
+  /// can be swapped by set_scheme(), so concurrent readers must not cache
+  /// the reference across mutations.
+  [[nodiscard]] const RedundancyScheme& scheme() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return *scheme_;
+  }
+  /// Active placement kind (see set_strategy()).
+  [[nodiscard]] PlacementKind placement_kind() const RDS_EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return kind_;
   }
   /// Committed strategy; concurrent readers should hold a
   /// placement_snapshot() instead (it pins the strategy's lifetime).
@@ -267,7 +316,15 @@ class VirtualDisk {
   friend class Snapshot;
 
   [[nodiscard]] std::unique_ptr<ReplicationStrategy> make_strategy(
-      const ClusterConfig& config) const;
+      const ClusterConfig& config) const RDS_REQUIRES(mu_);
+
+  /// Appends a record to the attached journal (no-op without one).  Runs
+  /// after the in-memory mutation committed, under the same critical
+  /// section, so journal order is commit order.  A failed append is
+  /// surfaced (the journal is now behind the in-memory state) but does not
+  /// roll the mutation back.
+  [[nodiscard]] Result<void> journal_locked(const journal::Record& record)
+      RDS_REQUIRES(mu_);
 
   // Locked bodies of the public operations above.  Public entry points take
   // `mu_` once and delegate here; internal call chains (add_device ->
@@ -331,9 +388,10 @@ class VirtualDisk {
   mutable Mutex mu_;
 
   ClusterConfig config_ RDS_GUARDED_BY(mu_);
-  std::shared_ptr<RedundancyScheme> scheme_;  // immutable after construction
-  PlacementKind kind_;
+  std::shared_ptr<RedundancyScheme> scheme_ RDS_GUARDED_BY(mu_);
+  PlacementKind kind_ RDS_GUARDED_BY(mu_);
   std::uint32_t volume_id_ = 0;
+  std::shared_ptr<journal::JournalSink> journal_ RDS_GUARDED_BY(mu_);
   // Committed strategy, shared with the published epoch so concurrent
   // readers keep it alive across a swap.  `config_`/`strategy_` are the
   // mutator's view; `published_` is the RCU snapshot readers load.

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3: reflected, polynomial 0xEDB88320, init/final ~0).
+//
+// The journal's per-record integrity check (docs/persistence.md).  Unlike
+// the 64-bit mixing hashes in util/hash.hpp -- built for placement
+// experiments -- this is the standard checksum whose value for "123456789"
+// is 0xCBF43926, so journal files stay verifiable by any external CRC tool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rds {
+
+/// CRC-32 of `data`.  Pass a previous return value as `seed` to continue a
+/// running checksum over concatenated buffers.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace rds

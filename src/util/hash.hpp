@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace rds {
@@ -49,6 +50,18 @@ namespace rds {
     h *= 0x100000001b3ULL;
   }
   return mix64(h);
+}
+
+/// FNV-1a over a byte buffer, length-mixed and finalized by mix64.  Content
+/// fingerprints (journal file-put records); collisions are 2^-64 events.
+[[nodiscard]] constexpr std::uint64_t hash_bytes(
+    std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h ^ data.size());
 }
 
 /// Map a 64-bit hash to a double uniform in [0, 1).  Uses the top 53 bits so

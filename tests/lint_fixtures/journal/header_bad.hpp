@@ -1,0 +1,13 @@
+// Fixture: a journal header that forgot the guard and dumps a namespace
+// into every includer.  (Deliberately missing #pragma once.)
+#include <string>
+
+using namespace std;
+
+namespace fixture::journal {
+
+inline string frame_label(unsigned long long lsn) {
+  return "record lsn=" + to_string(lsn);
+}
+
+}  // namespace fixture::journal

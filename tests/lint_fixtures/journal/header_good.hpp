@@ -1,0 +1,13 @@
+// Fixture: journal header hygiene done right -- #pragma once, fully
+// qualified names, no namespace dumping.
+#pragma once
+
+#include <string>
+
+namespace fixture::journal {
+
+inline std::string frame_label(unsigned long long lsn) {
+  return "record lsn=" + std::to_string(lsn);
+}
+
+}  // namespace fixture::journal

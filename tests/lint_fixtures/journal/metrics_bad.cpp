@@ -1,0 +1,16 @@
+// Fixture: journal-flavoured metric registrations outside the rds_ scheme
+// (the names the journal subsystem would plausibly get wrong).
+namespace fixture {
+
+struct Registry {
+  int& counter(const char*);
+  int& histogram(const char*);
+};
+
+void init_journal_metrics(Registry& reg) {
+  reg.counter("journal_records_total") = 1;
+  reg.counter("wal_bytes_total") = 2;
+  reg.histogram("journal_replay_latency_ns") = 3;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: the journal's real metric families, all on the rds_ scheme
+// (docs/metrics.md).
+namespace fixture {
+
+struct Registry {
+  int& counter(const char*);
+  int& histogram(const char*);
+};
+
+void init_journal_metrics(Registry& reg) {
+  reg.counter("rds_journal_records_total") = 1;
+  reg.counter("rds_journal_bytes_total") = 2;
+  reg.counter("rds_journal_append_failures_total") = 3;
+  reg.counter("rds_journal_checkpoints_total") = 4;
+  reg.counter("rds_journal_recoveries_total") = 5;
+  reg.counter("rds_journal_replayed_records_total") = 6;
+  reg.counter("rds_journal_replay_corrupt_total") = 7;
+  reg.histogram("rds_journal_append_latency_ns") = 8;
+  reg.histogram("rds_journal_replay_latency_ns") = 9;
+}
+
+}  // namespace fixture

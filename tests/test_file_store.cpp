@@ -112,6 +112,34 @@ TEST(FileStore, ListIsSorted) {
   EXPECT_EQ(listing[2].name, "c");
 }
 
+TEST(FileStore, TryGetReturnsNulloptForAbsentFiles) {
+  FileStore store = make_store();
+  store.put("present", bytes_of("x"));
+  auto hit = store.try_get("present");
+  ASSERT_TRUE(hit.ok()) << hit.error().message;
+  ASSERT_TRUE(hit.value().has_value());
+  EXPECT_EQ(*hit.value(), bytes_of("x"));
+
+  auto miss = store.try_get("absent");
+  ASSERT_TRUE(miss.ok()) << miss.error().message;  // absence is not an error
+  EXPECT_FALSE(miss.value().has_value());
+}
+
+TEST(FileStore, TryGetSurfacesUnreadableBlocksAsTypedErrors) {
+  // mirror(k=2): losing every device makes the file unreadable; try_get
+  // must say which block failed, not throw.
+  FileStore store = make_store(2, 32);
+  store.put("doomed", Bytes(96, 5));
+  for (DeviceId uid = 1; uid <= 5; ++uid) store.disk().fail_device(uid);
+  auto result = store.try_get("doomed");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnrecoverable);
+  EXPECT_NE(result.error().message.find("'doomed'"), std::string::npos);
+  EXPECT_NE(result.error().message.find("block"), std::string::npos);
+  // The throwing wrapper maps the same failure per the canonical taxonomy.
+  EXPECT_THROW((void)store.get("doomed"), std::runtime_error);
+}
+
 TEST(FileStore, Validation) {
   const ClusterConfig pool({{1, 100, ""}, {2, 100, ""}});
   EXPECT_THROW(

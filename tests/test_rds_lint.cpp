@@ -117,6 +117,46 @@ TEST(RdsLint, NodiscardResultPasses) {
   EXPECT_TRUE(lint_fixture("nodiscard_good.hpp").empty());
 }
 
+TEST(RdsLint, JournalMetricsNamingTrips) {
+  const auto findings = lint_fixture("journal/metrics_bad.cpp");
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{"metrics-naming"});
+}
+
+TEST(RdsLint, JournalMetricsNamingPasses) {
+  // Every metric family the journal subsystem actually registers.
+  EXPECT_TRUE(lint_fixture("journal/metrics_good.cpp").empty());
+}
+
+TEST(RdsLint, JournalHeaderHygieneTrips) {
+  const auto findings = lint_fixture("journal/header_bad.hpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{"header-hygiene"});
+}
+
+TEST(RdsLint, JournalHeaderHygienePasses) {
+  EXPECT_TRUE(lint_fixture("journal/header_good.hpp").empty());
+}
+
+TEST(RdsLint, JournalSourcesLintClean) {
+  // The shipped journal subsystem itself obeys every rule (the recovery
+  // path is the one most tempted to throw inside Result-returning code).
+  for (const std::string file :
+       {"/src/journal/journal.cpp", "/src/journal/record.cpp",
+        "/src/journal/recovery.cpp", "/src/journal/journal.hpp",
+        "/src/journal/record.hpp", "/src/journal/recovery.hpp",
+        "/src/journal/torn_write.hpp"}) {
+    std::vector<Finding> out;
+    std::string error;
+    ASSERT_TRUE(rds::lint::lint_file(std::string(RDS_LINT_SOURCE_DIR) + file,
+                                     out, error, {}))
+        << error;
+    EXPECT_TRUE(out.empty())
+        << file << ":" << out.front().line << " [" << out.front().rule
+        << "] " << out.front().message;
+  }
+}
+
 TEST(RdsLint, SuppressionsWithReasonsAreHonored) {
   EXPECT_TRUE(lint_fixture("suppression_good.cpp").empty());
 }

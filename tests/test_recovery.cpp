@@ -1,0 +1,357 @@
+// Checkpoint + journal replay reconstructs disks, pools and file stores
+// (src/journal/recovery.hpp).
+#include "src/journal/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "src/journal/journal.hpp"
+#include "src/journal/record.hpp"
+#include "src/storage/snapshot.hpp"
+#include "src/util/random.hpp"
+
+namespace rds::journal {
+namespace {
+
+ClusterConfig base_config() {
+  return ClusterConfig({{1, 3000, "a"},
+                        {2, 2500, "b"},
+                        {3, 2000, "c"},
+                        {4, 1500, "d"},
+                        {5, 1000, "e"},
+                        {6, 1000, "f"}});
+}
+
+Bytes payload(std::uint64_t block, std::uint64_t salt) {
+  Bytes b(80);
+  Xoshiro256 rng(block * 17 + salt);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng());
+  return b;
+}
+
+TEST(CheckpointHeader, RoundTrip) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  std::stringstream stream;
+  write_checkpoint(disk, 17, stream);
+  auto watermark = read_checkpoint_header(stream);
+  ASSERT_TRUE(watermark.ok()) << watermark.error().message;
+  EXPECT_EQ(watermark.value(), 17u);
+  // The rest of the stream is a loadable snapshot.
+  EXPECT_TRUE(Snapshot::load_disk(stream).config() == disk.config());
+}
+
+TEST(CheckpointHeader, RejectsBadMagicTruncationAndCrc) {
+  std::stringstream empty;
+  EXPECT_EQ(read_checkpoint_header(empty).error().code,
+            ErrorCode::kCorruption);
+
+  std::stringstream wrong("WRONGMAGxxxxxxxxxxxx");
+  EXPECT_EQ(read_checkpoint_header(wrong).error().code,
+            ErrorCode::kCorruption);
+
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  std::stringstream full;
+  write_checkpoint(disk, 3, full);
+  const std::string bytes = full.str();
+
+  std::stringstream truncated(bytes.substr(0, 12));
+  EXPECT_EQ(read_checkpoint_header(truncated).error().code,
+            ErrorCode::kCorruption);
+
+  std::string flipped = bytes;
+  flipped[10] = static_cast<char>(flipped[10] ^ 0x40);  // inside the watermark
+  std::stringstream damaged(flipped);
+  auto header = read_checkpoint_header(damaged);
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.error().message.find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST(Recovery, DiskAdminOpsReplayToIdenticalState) {
+  VirtualDisk disk(base_config(),
+                   std::make_shared<ReedSolomonScheme>(3, 2));
+  for (std::uint64_t b = 0; b < 60; ++b) disk.write(b, payload(b, 1));
+
+  // Checkpoint first (watermark 0: no journaled mutation yet), then attach
+  // the journal and run the full admin vocabulary.
+  std::stringstream ckpt;
+  write_checkpoint(disk, 0, ckpt);
+  std::stringstream wal;
+  auto writer = std::make_shared<JournalWriter>(wal);
+  disk.set_journal(writer);
+
+  disk.add_device({9, 4000, "late"});
+  disk.resize_device(2, 3500);
+  disk.fail_device(5);
+  EXPECT_GT(disk.rebuild(), 0u);
+  disk.set_strategy(PlacementKind::kRoundRobin);
+  disk.set_scheme(std::make_shared<MirroringScheme>(3));
+  disk.remove_device(9);
+  EXPECT_EQ(writer->last_lsn(), 7u);
+
+  auto recovered = Recovery::recover_disk(ckpt, &wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  VirtualDisk& twin = recovered.value().disk;
+  const ReplayReport& report = recovered.value().report;
+  EXPECT_EQ(report.watermark, 0u);
+  EXPECT_EQ(report.records_applied, 7u);
+  EXPECT_EQ(report.records_skipped, 0u);
+  EXPECT_EQ(report.last_applied, 7u);
+  EXPECT_FALSE(report.tail_corrupt);
+
+  EXPECT_TRUE(twin.config() == disk.config());
+  EXPECT_EQ(twin.scheme().name(), disk.scheme().name());
+  EXPECT_EQ(twin.placement_kind(), disk.placement_kind());
+  EXPECT_EQ(twin.block_count(), disk.block_count());
+  for (std::uint64_t b = 0; b < 60; ++b) {
+    EXPECT_EQ(twin.read(b), payload(b, 1));
+  }
+  EXPECT_TRUE(twin.scrub().clean());
+}
+
+TEST(Recovery, WatermarkSkipsAlreadyCheckpointedRecords) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 20; ++b) disk.write(b, payload(b, 2));
+  std::stringstream wal;
+  auto writer = std::make_shared<JournalWriter>(wal);
+  disk.set_journal(writer);
+
+  disk.add_device({9, 4000, "first"});
+  disk.fail_device(5);
+  // Checkpoint absorbs LSNs 1-2; the old journal keeps all records.
+  std::stringstream ckpt;
+  write_checkpoint(disk, writer->last_lsn(), ckpt);
+  disk.rebuild();
+  disk.resize_device(9, 5000);
+
+  auto recovered = Recovery::recover_disk(ckpt, &wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  const ReplayReport& report = recovered.value().report;
+  EXPECT_EQ(report.watermark, 2u);
+  EXPECT_EQ(report.records_skipped, 2u);
+  EXPECT_EQ(report.records_applied, 2u);
+  EXPECT_EQ(report.last_applied, 4u);
+  EXPECT_TRUE(recovered.value().disk.config() == disk.config());
+  EXPECT_TRUE(recovered.value().disk.scrub().clean());
+}
+
+TEST(Recovery, CheckpointRotatesAndFreshJournalContinues) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 20; ++b) disk.write(b, payload(b, 3));
+  std::stringstream wal;
+  auto writer = std::make_shared<JournalWriter>(wal);
+  disk.set_journal(writer);
+  disk.add_device({9, 4000, "x"});
+  disk.fail_device(3);
+
+  std::stringstream ckpt;
+  std::stringstream fresh;
+  const Lsn watermark = checkpoint(disk, *writer, ckpt, fresh);
+  EXPECT_EQ(watermark, 2u);
+  disk.rebuild();  // LSN 3 lands in the fresh journal only
+
+  auto recovered = Recovery::recover_disk(ckpt, &fresh);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  EXPECT_EQ(recovered.value().report.records_applied, 1u);
+  EXPECT_EQ(recovered.value().report.records_skipped, 0u);
+  EXPECT_EQ(recovered.value().report.last_applied, 3u);
+  EXPECT_TRUE(recovered.value().disk.config() == disk.config());
+  EXPECT_TRUE(recovered.value().disk.scrub().clean());
+}
+
+TEST(Recovery, NullJournalRestoresBareSnapshot) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  disk.write(1, payload(1, 4));
+  std::stringstream ckpt;
+  write_checkpoint(disk, 0, ckpt);
+  auto recovered = Recovery::recover_disk(ckpt, nullptr);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  EXPECT_EQ(recovered.value().disk.read(1), payload(1, 4));
+  EXPECT_EQ(recovered.value().report.records_applied, 0u);
+}
+
+TEST(Recovery, ReplayRejectsMidReshapeTarget) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 30; ++b) disk.write(b, payload(b, 5));
+  ClusterConfig next = disk.config();
+  next.add_device({9, 2500, ""});
+  disk.begin_reshape(next);
+  ASSERT_TRUE(disk.reshaping());
+
+  std::stringstream wal;
+  JournalWriter writer(wal);
+  ASSERT_TRUE(writer.append(make_rebuild()).ok());
+  auto replayed = Recovery::replay(disk, 0, wal);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error().code, ErrorCode::kReshapeInProgress);
+}
+
+TEST(Recovery, StrictModeTurnsTornTailIntoError) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  std::stringstream ckpt;
+  write_checkpoint(disk, 0, ckpt);
+
+  std::stringstream wal;
+  JournalWriter writer(wal);
+  ASSERT_TRUE(writer.append(make_fail_device(5)).ok());
+  ASSERT_TRUE(writer.append(make_rebuild()).ok());
+  const std::string torn = wal.str().substr(0, wal.str().size() - 3);
+
+  {
+    std::stringstream in(torn);
+    auto lax = Recovery::recover_disk(ckpt, &in);
+    ASSERT_TRUE(lax.ok()) << lax.error().message;
+    EXPECT_TRUE(lax.value().report.tail_corrupt);
+    EXPECT_EQ(lax.value().report.records_applied, 1u);
+    EXPECT_NE(lax.value().report.tail_error.find("lsn=2"),
+              std::string::npos);
+  }
+  {
+    ckpt.clear();
+    ckpt.seekg(0);
+    std::stringstream in(torn);
+    auto strict = Recovery::recover_disk(ckpt, &in, {.strict = true});
+    ASSERT_FALSE(strict.ok());
+    EXPECT_EQ(strict.error().code, ErrorCode::kCorruption);
+  }
+}
+
+TEST(Recovery, ApplyErrorNamesTheRecord) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  std::stringstream ckpt;
+  write_checkpoint(disk, 0, ckpt);
+  std::stringstream wal;
+  JournalWriter writer(wal);
+  ASSERT_TRUE(writer.append(make_remove_device(999)).ok());
+
+  auto recovered = Recovery::recover_disk(ckpt, &wal);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.error().code, ErrorCode::kNotFound);
+  EXPECT_NE(recovered.error().message.find("record lsn=1"),
+            std::string::npos);
+  EXPECT_NE(recovered.error().message.find("remove-device"),
+            std::string::npos);
+}
+
+TEST(Recovery, PoolRecordAgainstDiskIsTypedError) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  std::stringstream ckpt;
+  write_checkpoint(disk, 0, ckpt);
+  std::stringstream wal;
+  JournalWriter writer(wal);
+  ASSERT_TRUE(
+      writer.append(make_create_volume("v", "mirror(k=2)",
+                                       PlacementKind::kRedundantShare))
+          .ok());
+  auto recovered = Recovery::recover_disk(ckpt, &wal);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(recovered.error().message.find("pool record"), std::string::npos);
+}
+
+TEST(Recovery, PoolLifecycleReplaysToIdenticalState) {
+  StoragePool pool(base_config());
+  pool.create_volume("keep", std::make_shared<MirroringScheme>(2));
+  for (std::uint64_t b = 0; b < 40; ++b) {
+    pool.volume("keep").write(b, payload(b, 6));
+  }
+  std::stringstream ckpt;
+  write_checkpoint(pool, 0, ckpt);
+  std::stringstream wal;
+  auto writer = std::make_shared<JournalWriter>(wal);
+  pool.set_journal(writer);
+
+  pool.add_device({9, 4000, "late"});
+  pool.create_volume("scratch", std::make_shared<ReedSolomonScheme>(3, 2),
+                     PlacementKind::kRoundRobin);
+  pool.resize_device(9, 5000);
+  pool.set_volume_strategy("keep", PlacementKind::kFastRedundantShare);
+  pool.set_volume_scheme("keep", std::make_shared<MirroringScheme>(3));
+  pool.fail_device(5);
+  pool.rebuild();
+  pool.drop_volume("scratch");
+
+  auto recovered = Recovery::recover_pool(ckpt, &wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  StoragePool& twin = recovered.value().pool;
+  EXPECT_EQ(twin.volume_count(), pool.volume_count());
+  EXPECT_TRUE(twin.config() == pool.config());
+  EXPECT_FALSE(twin.has_volume("scratch"));
+  EXPECT_EQ(twin.volume("keep").scheme().name(), "mirror(k=3)");
+  EXPECT_EQ(twin.volume("keep").placement_kind(),
+            PlacementKind::kFastRedundantShare);
+  for (std::uint64_t b = 0; b < 40; ++b) {
+    EXPECT_EQ(twin.volume("keep").read(b), payload(b, 6));
+  }
+  EXPECT_TRUE(twin.volume("keep").scrub().clean());
+}
+
+TEST(Recovery, FileStoreMutationsReplayByteIdentical) {
+  FileStore store(
+      VirtualDisk(base_config(), std::make_shared<MirroringScheme>(2)), 64);
+  store.put("seed", payload(1, 7));
+  std::stringstream ckpt;
+  write_checkpoint(store, 0, ckpt);
+  std::stringstream wal;
+  auto writer = std::make_shared<JournalWriter>(wal);
+  store.set_journal(writer);
+
+  // Content mutations interleaved with topology: remove frees blocks the
+  // next put re-allocates, so replay must reproduce the allocator walk.
+  store.put("a", payload(2, 7));
+  store.put("b", payload(3, 7));
+  ASSERT_TRUE(store.remove("a"));
+  store.put("c", payload(4, 7));
+  store.put("b", payload(5, 7));  // replace
+  store.disk().add_device({9, 4000, "late"});
+  store.disk().fail_device(5);
+  store.disk().rebuild();
+
+  auto recovered = Recovery::recover_file_store(ckpt, &wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().message;
+  FileStore& twin = recovered.value().store;
+  EXPECT_EQ(twin.file_count(), store.file_count());
+  EXPECT_FALSE(twin.contains("a"));
+  EXPECT_EQ(twin.get("seed"), store.get("seed"));
+  EXPECT_EQ(twin.get("b"), store.get("b"));
+  EXPECT_EQ(twin.get("c"), store.get("c"));
+  EXPECT_TRUE(twin.disk().config() == store.disk().config());
+  EXPECT_TRUE(twin.disk().scrub().clean());
+}
+
+TEST(Recovery, FilePutFingerprintMismatchIsCorruption) {
+  FileStore store(
+      VirtualDisk(base_config(), std::make_shared<MirroringScheme>(2)), 64);
+  std::stringstream ckpt;
+  write_checkpoint(store, 0, ckpt);
+
+  Record forged = make_file_put("evil", payload(1, 8));
+  forged.content_hash ^= 1;  // payload no longer matches its fingerprint
+  std::stringstream wal;
+  JournalWriter writer(wal);
+  ASSERT_TRUE(writer.append(forged).ok());
+
+  auto recovered = Recovery::recover_file_store(ckpt, &wal);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.error().code, ErrorCode::kCorruption);
+  EXPECT_NE(recovered.error().message.find("fingerprint mismatch"),
+            std::string::npos);
+}
+
+TEST(Recovery, CorruptCheckpointBodyIsCorruption) {
+  VirtualDisk disk(base_config(), std::make_shared<MirroringScheme>(2));
+  disk.write(1, payload(1, 9));
+  std::stringstream full;
+  write_checkpoint(disk, 0, full);
+  const std::string bytes = full.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  auto recovered = Recovery::recover_disk(truncated, nullptr);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.error().code, ErrorCode::kCorruption);
+  EXPECT_NE(recovered.error().message.find("checkpoint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rds::journal

@@ -94,6 +94,14 @@ TEST(Result, ErrorCodeNames) {
   EXPECT_EQ(to_string(ErrorCode::kReshapeInProgress), "reshape-in-progress");
   EXPECT_EQ(to_string(ErrorCode::kCancelled), "cancelled");
   EXPECT_EQ(to_string(ErrorCode::kIoError), "io-error");
+  EXPECT_EQ(to_string(ErrorCode::kCorruption), "corruption");
+}
+
+TEST(Result, CorruptionMapsToRuntimeError) {
+  EXPECT_THROW(
+      Result<int>(Error{ErrorCode::kCorruption, "crc mismatch"})
+          .value_or_throw(),
+      std::runtime_error);
 }
 
 }  // namespace

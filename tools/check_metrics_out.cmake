@@ -1,12 +1,31 @@
-# ctest helper: runs `rds_cli simulate --metrics-out OUT` and asserts the
-# JSON snapshot contains the metric families the scenario must have touched.
+# ctest helper: drives `rds_cli` subcommands with --metrics-out OUT and
+# asserts the JSON snapshot contains the metric families each scenario must
+# have touched.  Covers simulate, then a snapshot -> recover round trip
+# (the journal families; docs/persistence.md).
 #
-# Expects -DRDS_CLI=<path to rds_cli> -DTRACE=<trace file> -DOUT=<json path>.
-foreach(var RDS_CLI TRACE OUT)
+# Expects -DRDS_CLI=<path to rds_cli> -DTRACE=<trace file>
+#         -DJOURNAL_TRACE=<topology-only trace> -DOUT=<json path>.
+foreach(var RDS_CLI TRACE JOURNAL_TRACE OUT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "check_metrics_out.cmake: -D${var}=... is required")
   endif()
 endforeach()
+
+function(require_families json_file label)
+  if(NOT EXISTS "${json_file}")
+    message(FATAL_ERROR "${label}: --metrics-out did not create ${json_file}")
+  endif()
+  file(READ "${json_file}" json)
+  foreach(needle IN LISTS ARGN)
+    string(FIND "${json}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "${label}: metrics JSON is missing ${needle}:\n${json}")
+    endif()
+  endforeach()
+endfunction()
+
+# ---- simulate ---------------------------------------------------------------
 
 execute_process(
   COMMAND "${RDS_CLI}" simulate --caps 1000,1000,1000
@@ -18,12 +37,7 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "rds_cli simulate failed (rc=${rc}): ${stderr}")
 endif()
 
-if(NOT EXISTS "${OUT}")
-  message(FATAL_ERROR "--metrics-out did not create ${OUT}")
-endif()
-file(READ "${OUT}" json)
-
-foreach(needle
+require_families("${OUT}" "simulate"
     "\"version\""
     "rds_placements_total"
     "rds_placement_latency_ns"
@@ -33,10 +47,75 @@ foreach(needle
     "rds_storage_degraded_reads_total"
     "rds_topology_events_total"
     "\"buckets\"")
-  string(FIND "${json}" "${needle}" pos)
-  if(pos EQUAL -1)
-    message(FATAL_ERROR "metrics JSON is missing ${needle}:\n${json}")
+
+# ---- snapshot (checkpoint + journaled trace) --------------------------------
+
+get_filename_component(work_dir "${OUT}" DIRECTORY)
+set(ckpt "${work_dir}/cli_ckpt.bin")
+set(wal "${work_dir}/cli_wal.bin")
+set(snapshot_json "${work_dir}/metrics_snapshot.json")
+set(recover_json "${work_dir}/metrics_recover.json")
+
+execute_process(
+  COMMAND "${RDS_CLI}" snapshot --caps 1000,1000,1000
+          --out "${ckpt}" --journal "${wal}"
+          --script "${JOURNAL_TRACE}" --metrics-out "${snapshot_json}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rds_cli snapshot failed (rc=${rc}): ${stderr}")
+endif()
+if(NOT stdout MATCHES "journal last lsn:[ ]+4")
+  message(FATAL_ERROR
+          "snapshot did not journal the 4 topology commands:\n${stdout}")
+endif()
+
+require_families("${snapshot_json}" "snapshot"
+    "\"version\""
+    "rds_journal_records_total"
+    "rds_journal_bytes_total"
+    "rds_journal_append_latency_ns"
+    "rds_journal_checkpoints_total")
+
+# ---- recover (replay the journal over the checkpoint) -----------------------
+
+execute_process(
+  COMMAND "${RDS_CLI}" recover --snapshot "${ckpt}" --journal "${wal}"
+          --metrics-out "${recover_json}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "rds_cli recover failed (rc=${rc}): ${stderr}")
+endif()
+foreach(expect "records applied:[ ]+4" "journal tail:[ ]+clean"
+        "scrub:[ ]+clean")
+  if(NOT stdout MATCHES "${expect}")
+    message(FATAL_ERROR "recover output lacks '${expect}':\n${stdout}")
   endif()
 endforeach()
 
-message(STATUS "metrics snapshot OK: ${OUT}")
+require_families("${recover_json}" "recover"
+    "\"version\""
+    "rds_journal_replayed_records_total"
+    "rds_journal_replay_latency_ns"
+    "rds_journal_recoveries_total")
+
+# --strict must be accepted and succeed on an undamaged journal (the
+# torn-tail strict semantics themselves are unit-tested exhaustively in
+# tests/test_torn_write.cpp).
+execute_process(
+  COMMAND "${RDS_CLI}" recover --snapshot "${ckpt}" --journal "${wal}"
+          --strict
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "rds_cli recover --strict failed on a clean journal (rc=${rc}): "
+          "${stderr}")
+endif()
+
+message(STATUS
+        "metrics snapshots OK: ${OUT}, ${snapshot_json}, ${recover_json}")

@@ -31,6 +31,17 @@
 //       docs/metrics.md) in text form: placement counters, chain depths,
 //       per-device load gauges.
 //
+//   rds_cli snapshot --caps 500,600,700 --out ckpt.bin [--journal wal.bin]
+//                    [--script ops.txt] [--scheme mirror:2]
+//       Writes a checkpoint of the freshly built disk, then (optionally)
+//       runs an operation trace with a write-ahead journal attached --
+//       `recover` can replay that journal over the checkpoint.  See
+//       docs/persistence.md.
+//
+//   rds_cli recover  --snapshot ckpt.bin [--journal wal.bin]
+//       Loads a checkpoint, replays the journal over it, and reports the
+//       recovered state (LSNs applied, torn-tail status, scrub result).
+//
 // Every command accepts --metrics-out FILE to additionally write the full
 // metrics registry as a JSON snapshot (schema: docs/metrics.md) when the
 // command finishes.
@@ -57,6 +68,8 @@
 #include "src/core/capacity.hpp"
 #include "src/core/loss_analysis.hpp"
 #include "src/core/redundant_share.hpp"
+#include "src/journal/journal.hpp"
+#include "src/journal/recovery.hpp"
 #include "src/metrics/registry.hpp"
 #include "src/placement/batch_placer.hpp"
 #include "src/placement/strategy_factory.hpp"
@@ -74,8 +87,8 @@ using namespace rds;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
-      << "usage: rds_cli <analyze|place|fairness|migrate|loss|simulate|stats>"
-         " [options]\n"
+      << "usage: rds_cli <analyze|place|fairness|migrate|loss|simulate|stats"
+         "|snapshot|recover> [options]\n"
       << "  --caps a,b,c      device capacities (uid = position)\n"
       << "  --to-caps a,b,c   target capacities for `migrate` (0 = retired)\n"
       << "  --k N             replication degree (default 2)\n"
@@ -93,6 +106,12 @@ using namespace rds;
       << "                    round-robin (rr); default redundant-share\n"
       << "  --threads N       worker threads for place/fairness/stats\n"
       << "                    (default 1; 0 = all hardware threads)\n"
+      << "  --out F           checkpoint output file for `snapshot`\n"
+      << "  --snapshot F      checkpoint input file for `recover`\n"
+      << "  --journal F       write-ahead journal file (written by\n"
+      << "                    `snapshot`, replayed by `recover`)\n"
+      << "  --strict          `recover`: fail on a torn journal tail\n"
+      << "                    instead of reporting it\n"
       << "  --metrics-out F   write a JSON metrics snapshot to F on exit\n";
   std::exit(2);
 }
@@ -153,6 +172,10 @@ struct Args {
   std::string script;
   std::string scheme = "mirror:2";
   std::string metrics_out;
+  std::string out;            // `snapshot` checkpoint target
+  std::string snapshot_path;  // `recover` checkpoint source
+  std::string journal;        // journal file (snapshot writes, recover reads)
+  bool strict = false;        // `recover`: torn tail is fatal
   PlacementKind strategy = PlacementKind::kRedundantShare;
   unsigned k = 2;
   unsigned need = 1;
@@ -204,11 +227,20 @@ Args parse(int argc, char** argv) {
   if (argc < 2) usage();
   Args args;
   args.command = argv[1];
-  std::map<std::string, std::string> opts;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    opts[argv[i]] = argv[i + 1];
+  // Valueless flags first; everything left must pair up key/value.
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--strict") {
+      args.strict = true;
+    } else {
+      rest.emplace_back(argv[i]);
+    }
   }
-  if (argc >= 2 && (argc - 2) % 2 != 0) usage("dangling option");
+  std::map<std::string, std::string> opts;
+  for (std::size_t i = 0; i + 1 < rest.size(); i += 2) {
+    opts[rest[i]] = rest[i + 1];
+  }
+  if (rest.size() % 2 != 0) usage("dangling option");
   const auto get = [&](const std::string& key) -> std::string {
     const auto it = opts.find(key);
     return it == opts.end() ? "" : it->second;
@@ -227,6 +259,11 @@ Args parse(int argc, char** argv) {
   if (const std::string v = get("--metrics-out"); !v.empty()) {
     args.metrics_out = v;
   }
+  if (const std::string v = get("--out"); !v.empty()) args.out = v;
+  if (const std::string v = get("--snapshot"); !v.empty()) {
+    args.snapshot_path = v;
+  }
+  if (const std::string v = get("--journal"); !v.empty()) args.journal = v;
   if (const std::string v = get("--strategy"); !v.empty()) {
     const std::optional<PlacementKind> kind = parse_placement_kind(v);
     if (!kind) usage("unknown --strategy: " + v);
@@ -251,7 +288,10 @@ Args parse(int argc, char** argv) {
     args.balls = parse_u64("--balls", v);
   }
   if (args.k == 0) usage("--k must be at least 1");
-  if (args.caps.empty()) usage("--caps is required");
+  // `recover` rebuilds its configuration from the checkpoint itself.
+  if (args.caps.empty() && args.command != "recover") {
+    usage("--caps is required");
+  }
   return args;
 }
 
@@ -388,6 +428,102 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_snapshot(const Args& args) {
+  if (args.out.empty()) usage("snapshot requires --out");
+  VirtualDisk disk(config_from(args.caps), parse_scheme(args.scheme),
+                   args.strategy);
+  {
+    std::ofstream snap(args.out, std::ios::binary | std::ios::trunc);
+    if (!snap) {
+      std::cerr << "error: cannot open " << args.out << '\n';
+      return 1;
+    }
+    // Checkpoint the pristine disk at watermark 0: every journaled record
+    // (LSNs start at 1) replays on top of it.
+    journal::write_checkpoint(disk, 0, snap);
+    snap.flush();
+    if (!snap) {
+      std::cerr << "error: write failed: " << args.out << '\n';
+      return 1;
+    }
+  }
+  std::cout << "checkpoint:          " << args.out << '\n'
+            << "watermark lsn:       0\n";
+
+  std::shared_ptr<journal::JournalWriter> writer;
+  std::ofstream journal_out;
+  if (!args.journal.empty()) {
+    journal_out.open(args.journal, std::ios::binary | std::ios::trunc);
+    if (!journal_out) {
+      std::cerr << "error: cannot open " << args.journal << '\n';
+      return 1;
+    }
+    writer = std::make_shared<journal::JournalWriter>(journal_out);
+    disk.set_journal(writer);
+  }
+  if (!args.script.empty()) {
+    std::ifstream script(args.script);
+    if (!script) {
+      std::cerr << "error: cannot open " << args.script << '\n';
+      return 1;
+    }
+    TraceRunner runner(std::move(disk));
+    const TraceStats stats = runner.run(script);
+    std::cout << "commands executed:   " << stats.commands << '\n'
+              << "topology changes:    " << stats.topology_changes << '\n';
+  }
+  if (writer) {
+    std::cout << "journal:             " << args.journal << '\n'
+              << "journal last lsn:    " << writer->last_lsn() << '\n';
+  }
+  return 0;
+}
+
+int cmd_recover(const Args& args) {
+  if (args.snapshot_path.empty()) usage("recover requires --snapshot");
+  std::ifstream snap(args.snapshot_path, std::ios::binary);
+  if (!snap) {
+    std::cerr << "error: cannot open " << args.snapshot_path << '\n';
+    return 1;
+  }
+  std::ifstream journal_in;
+  std::istream* journal_ptr = nullptr;
+  if (!args.journal.empty()) {
+    journal_in.open(args.journal, std::ios::binary);
+    if (!journal_in) {
+      std::cerr << "error: cannot open " << args.journal << '\n';
+      return 1;
+    }
+    journal_ptr = &journal_in;
+  }
+  journal::RecoveryOptions options;
+  options.strict = args.strict;
+  Result<journal::DiskRecovery> recovered =
+      journal::Recovery::recover_disk(snap, journal_ptr, options);
+  if (!recovered.ok()) {
+    std::cerr << "error: " << to_string(recovered.error().code) << ": "
+              << recovered.error().message << '\n';
+    return 1;
+  }
+  journal::DiskRecovery result = std::move(recovered).take();
+  const journal::ReplayReport& report = result.report;
+  const VirtualDisk::ScrubReport scrub = result.disk.scrub();
+  std::cout << "watermark lsn:       " << report.watermark << '\n'
+            << "last applied lsn:    " << report.last_applied << '\n'
+            << "records applied:     " << report.records_applied << '\n'
+            << "records skipped:     " << report.records_skipped << '\n'
+            << "journal tail:        "
+            << (report.tail_corrupt
+                    ? "CORRUPT (" + report.tail_error + ")"
+                    : std::string("clean"))
+            << '\n'
+            << "devices:             " << result.disk.config().size() << '\n'
+            << "blocks:              " << result.disk.block_count() << '\n'
+            << "scrub:               " << (scrub.clean() ? "clean" : "DEGRADED")
+            << '\n';
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "place") return cmd_place(args);
@@ -396,6 +532,8 @@ int dispatch(const Args& args) {
   if (args.command == "loss") return cmd_loss(args);
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "snapshot") return cmd_snapshot(args);
+  if (args.command == "recover") return cmd_recover(args);
   usage("unknown command: " + args.command);
 }
 
