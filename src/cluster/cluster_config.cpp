@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "src/util/checked_math.hpp"
+
 namespace rds {
 
 ClusterConfig::ClusterConfig(std::vector<Device> devices)
@@ -33,10 +35,23 @@ void ClusterConfig::canonicalize() {
 
   suffix_.assign(devices_.size() + 1, 0);
   for (std::size_t i = devices_.size(); i-- > 0;) {
-    suffix_[i] = suffix_[i + 1] + devices_[i].capacity;
+    suffix_[i] =
+        checked_add(suffix_[i + 1], devices_[i].capacity).value_or_throw();
   }
   total_capacity_ = suffix_.empty() ? 0 : suffix_[0];
   ++version_;
+}
+
+Result<bool> ClusterConfig::try_capacity_efficient(unsigned k) const {
+  if (k == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "try_capacity_efficient: k == 0"};
+  }
+  if (devices_.empty()) return false;
+  // devices_ is sorted by descending capacity, so b_max is devices_[0].
+  Result<std::uint64_t> demand = checked_mul(devices_[0].capacity, k);
+  if (!demand.ok()) return demand.error();
+  return demand.value() <= total_capacity_;
 }
 
 double ClusterConfig::relative_capacity(std::size_t i) const noexcept {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/cluster/device.hpp"
+#include "src/core/result.hpp"
 
 namespace rds {
 
@@ -46,6 +47,13 @@ class ClusterConfig {
 
   /// Relative capacity c_i = b_i / B of the device at canonical index i.
   [[nodiscard]] double relative_capacity(std::size_t i) const noexcept;
+
+  /// Lemma 2.1 feasibility on exact byte counts: k copies of every block
+  /// can be spread over distinct devices iff k * b_max <= B.  Exact
+  /// counterpart of the double-based capacity_efficient() in
+  /// src/core/capacity.hpp.  kInvalidArgument if k == 0 or the demand
+  /// k * b_max overflows uint64.
+  [[nodiscard]] Result<bool> try_capacity_efficient(unsigned k) const;
 
   /// Canonical index of a device, if present.
   [[nodiscard]] std::optional<std::size_t> index_of(DeviceId uid) const;

@@ -5,6 +5,7 @@
 
 #include "src/metrics/registry.hpp"
 #include "src/metrics/scoped_timer.hpp"
+#include "src/util/gauge_guard.hpp"
 
 namespace rds {
 
@@ -78,7 +79,7 @@ void BatchPlacer::place(const ReplicationStrategy& strategy,
   }
   if (addresses.empty()) return;
 
-  inflight_->add(1);
+  const metrics::GaugeGuard inflight_guard(*inflight_);
   metrics::ScopedTimer batch_span(*batch_latency_ns_);
 
   try {
@@ -114,10 +115,10 @@ void BatchPlacer::place(const ReplicationStrategy& strategy,
       }
     }
   } catch (...) {
-    // A throwing strategy must not leave the in-flight gauge raised or
-    // record a bogus latency sample for a batch that never completed.
+    // A throwing strategy must not record a bogus latency sample for a
+    // batch that never completed; the gauge guard handles the in-flight
+    // count on unwind.
     batch_span.cancel();
-    inflight_->sub(1);
     throw;
   }
 
@@ -125,7 +126,6 @@ void BatchPlacer::place(const ReplicationStrategy& strategy,
   batch_span.stop();
   placements_total_->inc(addresses.size());
   batches_total_->inc();
-  inflight_->sub(1);
 }
 
 }  // namespace rds

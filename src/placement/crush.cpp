@@ -4,13 +4,16 @@
 #include <unordered_set>
 
 #include "src/placement/rendezvous.hpp"
+#include "src/util/checked_math.hpp"
 #include "src/util/hash.hpp"
 
 namespace rds {
 
-std::uint64_t FailureDomain::total_capacity() const noexcept {
+std::uint64_t FailureDomain::total_capacity() const {
   std::uint64_t total = 0;
-  for (const Device& d : devices) total += d.capacity;
+  for (const Device& d : devices) {
+    total = checked_add(total, d.capacity).value_or_throw();
+  }
   return total;
 }
 

@@ -31,7 +31,8 @@ struct FailureDomain {
   std::string name;
   std::vector<Device> devices;
 
-  [[nodiscard]] std::uint64_t total_capacity() const noexcept;
+  /// Throws std::invalid_argument if the sum overflows uint64.
+  [[nodiscard]] std::uint64_t total_capacity() const;
 };
 
 class CrushPlacement final : public ReplicationStrategy {

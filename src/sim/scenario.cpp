@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/util/checked_math.hpp"
+
 namespace rds {
 
 ClusterConfig paper_heterogeneous_base() {
@@ -68,7 +70,8 @@ EditResult apply_edit(const ClusterConfig& config, EditKind kind,
   ClusterConfig next = config;
   switch (kind) {
     case EditKind::kAddBiggest: {
-      const std::uint64_t cap = config[0].capacity + ladder_step;
+      const std::uint64_t cap =
+          checked_add(config[0].capacity, ladder_step).value_or_throw();
       next.add_device({new_uid, cap, "added-big"});
       return {std::move(next), new_uid};
     }

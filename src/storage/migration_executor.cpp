@@ -7,6 +7,7 @@
 
 #include "src/metrics/registry.hpp"
 #include "src/metrics/scoped_timer.hpp"
+#include "src/util/gauge_guard.hpp"
 
 namespace rds {
 
@@ -110,7 +111,7 @@ Result<MigrationReport> MigrationExecutor::execute(
       if (token.cancelled()) break;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= plan.moves.size()) break;
-      inflight_->add(1);
+      const metrics::GaugeGuard inflight_guard(*inflight_);
       metrics::ScopedTimer move_span(*move_latency_ns_);
       const MoveOutcome outcome =
           run_move(plan.moves[i], token, shard.retries);
@@ -133,7 +134,6 @@ Result<MigrationReport> MigrationExecutor::execute(
           move_span.cancel();
           break;
       }
-      inflight_->sub(1);
     }
     const MutexLock lock(merge_mu);
     report.moves_executed += shard.moves_executed;

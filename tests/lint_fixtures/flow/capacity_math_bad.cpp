@@ -1,0 +1,28 @@
+// rds_analyze fixture: trips capacity-arith three times -- an unchecked
+// running sum of device capacities, the unchecked Lemma 2.1 demand
+// k * b_max, and an unchecked capacity increment.
+
+namespace fix {
+
+struct Device {
+  unsigned long long capacity = 0;
+};
+
+unsigned long long raw_total(const Device* devices, int n) {
+  unsigned long long total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += devices[i].capacity;
+  }
+  return total;
+}
+
+unsigned long long demand(unsigned long long b_max, unsigned k) {
+  return b_max * k;
+}
+
+unsigned long long grow(unsigned long long capacity,
+                        unsigned long long step) {
+  return capacity + step;
+}
+
+}  // namespace fix

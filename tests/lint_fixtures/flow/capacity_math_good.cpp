@@ -1,0 +1,29 @@
+// rds_analyze fixture: capacity arithmetic the tolerated ways -- through
+// the checked_math helpers (no raw operator at all) or on doubles, where
+// overflow saturates instead of wrapping.
+
+namespace fix {
+
+struct Device {
+  unsigned long long capacity = 0;
+};
+
+unsigned long long raw_total(const Device* devices, int n) {
+  unsigned long long total = 0;
+  for (int i = 0; i < n; ++i) {
+    total = checked_add(total, devices[i].capacity).value_or_throw();
+  }
+  return total;
+}
+
+bool feasible(unsigned long long b_max, unsigned k,
+              unsigned long long total) {
+  return checked_mul(b_max, k).value_or_throw() <= total;
+}
+
+double approx_grow(double capacity, double step) {
+  const double grown = capacity + step;
+  return grown;
+}
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// rds_analyze fixture: trips journal-protocol twice.
+//
+//  * commit_ignored drops the append Result on the floor.
+//  * mutate_after appends (the commit point) and then mutates member
+//    state, so a crash between the two leaves the journal ahead of the
+//    in-memory state it is supposed to describe.
+
+namespace fix {
+
+class Journal {
+ public:
+  Result<long> append(int record);
+};
+
+class Pool {
+ public:
+  void commit_ignored(int record) {
+    journal_.append(record);
+  }
+
+  void mutate_after(int record) {
+    auto appended = journal_.append(record);
+    if (!appended.ok()) return;
+    state_ = record;
+  }
+
+ private:
+  Journal journal_;
+  int state_ = 0;
+};
+
+}  // namespace fix

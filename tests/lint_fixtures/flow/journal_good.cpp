@@ -1,0 +1,31 @@
+// rds_analyze fixture: the commit-log protocol done right.  State is
+// mutated first, then the append commits it; the append Result is
+// inspected on every path and nothing is touched afterwards.
+
+namespace fix {
+
+class Journal {
+ public:
+  Result<long> append(int record);
+};
+
+class Pool {
+ public:
+  Result<void> commit(int record) {
+    state_ = record;
+    auto appended = journal_.append(record);
+    if (!appended.ok()) return appended.error();
+    return {};
+  }
+
+  long commit_or_throw(int record) {
+    state_ = record;
+    return journal_.append(record).value_or_throw();
+  }
+
+ private:
+  Journal journal_;
+  int state_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,66 @@
+// rds_analyze fixture: trips lock-order twice.
+//
+//  * A::ping holds A::mu_ and calls B::pong, which holds B::mu_ and calls
+//    A::poke (A::mu_ again) -- an A::mu_ <-> B::mu_ cycle in the
+//    acquisition graph.
+//  * VirtualDisk::flush acquires StoragePool::mu_ while holding its own
+//    mu_, inverting the documented pool-before-volume order.
+
+namespace fix {
+
+class B;
+
+class A {
+ public:
+  void ping(B& b);
+  void poke() {
+    const MutexLock lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  friend class B;
+  Mutex mu_;
+  int hits_ = 0;
+};
+
+class B {
+ public:
+  void pong(A& a) {
+    const MutexLock lock(mu_);
+    a.poke();
+  }
+
+ private:
+  Mutex mu_;
+};
+
+void A::ping(B& b) {
+  const MutexLock lock(mu_);
+  b.pong(*this);
+}
+
+class StoragePool {
+ public:
+  void admit() {
+    const MutexLock lock(mu_);
+    ++admitted_;
+  }
+
+ private:
+  Mutex mu_;
+  int admitted_ = 0;
+};
+
+class VirtualDisk {
+ public:
+  void flush(StoragePool& pool) {
+    const MutexLock lock(mu_);
+    pool.admit();
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace fix

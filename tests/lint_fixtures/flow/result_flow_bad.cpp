@@ -1,0 +1,17 @@
+// rds_analyze fixture: trips result-flow.  The stored try_* Result is
+// only inspected on the positive branch; the fall-through path returns
+// without ever looking at it.
+
+namespace fix {
+
+Result<int> try_fetch(int key);
+
+int lookup(int key) {
+  auto fetched = try_fetch(key);
+  if (key > 0) {
+    return fetched.value_or_throw();
+  }
+  return 0;
+}
+
+}  // namespace fix

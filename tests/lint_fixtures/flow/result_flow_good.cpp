@@ -1,0 +1,21 @@
+// rds_analyze fixture: stored try_* Results inspected on every path --
+// either immediately after the call or on both branches.
+
+namespace fix {
+
+Result<int> try_fetch(int key);
+
+int lookup(int key) {
+  auto fetched = try_fetch(key);
+  if (!fetched.ok()) {
+    return -1;
+  }
+  return fetched.value();
+}
+
+int lookup_or_throw(int key) {
+  auto fetched = try_fetch(key);
+  return fetched.value_or_throw();
+}
+
+}  // namespace fix

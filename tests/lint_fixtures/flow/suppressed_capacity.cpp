@@ -1,0 +1,13 @@
+// rds_analyze fixture: the rds_lint suppression syntax carries over to
+// the flow rules -- this file would trip capacity-arith without the
+// allow() line.
+
+namespace fix {
+
+unsigned long long grow(unsigned long long capacity,
+                        unsigned long long step) {
+  // rds_lint: allow(capacity-arith) -- fixture: demonstrating suppression
+  return capacity + step;
+}
+
+}  // namespace fix

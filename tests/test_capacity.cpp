@@ -4,10 +4,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
+#include "src/cluster/cluster_config.hpp"
+#include "src/util/checked_math.hpp"
 #include "src/util/random.hpp"
 
 namespace rds {
@@ -164,6 +169,48 @@ TEST(AnalyzeCapacity, ReportsAllFields) {
   const CapacityAnalysis b = analyze_capacity(std::vector<double>{2, 1, 1}, 2);
   EXPECT_TRUE(b.feasible_unadjusted);
   EXPECT_DOUBLE_EQ(b.usable_capacity, b.raw_capacity);
+}
+
+TEST(CheckedMath, AddMulSumDetectOverflow) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(checked_add(1, 2).value_or_throw(), 3u);
+  EXPECT_EQ(checked_add(kMax, 0).value_or_throw(), kMax);
+  EXPECT_EQ(checked_add(kMax, 1).code(), ErrorCode::kInvalidArgument);
+
+  EXPECT_EQ(checked_mul(3, 7).value_or_throw(), 21u);
+  EXPECT_EQ(checked_mul(kMax, 1).value_or_throw(), kMax);
+  EXPECT_EQ(checked_mul(kMax / 2 + 1, 2).code(),
+            ErrorCode::kInvalidArgument);
+
+  const std::vector<std::uint64_t> fits{1, 2, 3};
+  EXPECT_EQ(checked_sum(fits).value_or_throw(), 6u);
+  const std::vector<std::uint64_t> wraps{kMax, 1};
+  EXPECT_EQ(checked_sum(wraps).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CheckedMath, TryCapacityEfficientMatchesLemma21Exactly) {
+  // Same instances as Lemma21Condition, on exact byte counts.
+  EXPECT_TRUE(ClusterConfig({{1, 2, "a"}, {2, 1, "b"}, {3, 1, "c"}})
+                  .try_capacity_efficient(2)
+                  .value_or_throw());
+  EXPECT_FALSE(ClusterConfig({{1, 3, "a"}, {2, 1, "b"}, {3, 1, "c"}})
+                   .try_capacity_efficient(2)
+                   .value_or_throw());
+  EXPECT_EQ(ClusterConfig({{1, 2, "a"}}).try_capacity_efficient(0).code(),
+            ErrorCode::kInvalidArgument);
+
+  // An overflowing demand k * b_max is a diagnosis, not a verdict.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(ClusterConfig({{1, kMax / 2 + 1, "a"}, {2, 1, "b"}})
+                .try_capacity_efficient(3)
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CheckedMath, CanonicalizeRejectsOverflowingTotal) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW(ClusterConfig({{1, kMax, "a"}, {2, kMax, "b"}}),
+               std::invalid_argument);
 }
 
 }  // namespace

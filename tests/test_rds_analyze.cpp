@@ -1,0 +1,174 @@
+// rds_analyze contract tests: every flow rule fires on its tripping
+// fixture and stays quiet on its passing twin, suppressions carry over
+// from rds_lint, the reporting back ends round-trip, and the committed
+// baseline reproduces byte-for-byte over the tree
+// (docs/static_analysis.md).
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/rds_analyze/analyze.hpp"
+#include "tools/rds_analyze/report.hpp"
+
+namespace {
+
+using rds::analyze::Analyzer;
+using rds::analyze::Finding;
+using rds::analyze::Options;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(RDS_LINT_FIXTURE_DIR) + "/flow/" + name;
+}
+
+std::vector<Finding> analyze_fixture(const std::string& name,
+                                     const Options& opts = {}) {
+  Analyzer analyzer;
+  EXPECT_TRUE(analyzer.add_file(fixture_path(name)));
+  EXPECT_TRUE(analyzer.io_errors().empty());
+  return analyzer.run(opts);
+}
+
+std::set<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+std::vector<int> lines_of(const std::vector<Finding>& findings) {
+  std::vector<int> lines;
+  for (const Finding& f : findings) lines.push_back(f.line);
+  return lines;
+}
+
+TEST(RdsAnalyze, RuleListIsComplete) {
+  const std::vector<std::string> expected = {
+      "lock-order", "journal-protocol", "metric-balance", "result-flow",
+      "capacity-arith"};
+  EXPECT_EQ(rds::analyze::rule_ids(), expected);
+}
+
+TEST(RdsAnalyze, LockOrderTrips) {
+  const auto findings = analyze_fixture("lock_order_bad.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{"lock-order"});
+  // One cycle finding, one pool/volume inversion finding.
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("inverts"), std::string::npos);
+}
+
+TEST(RdsAnalyze, LockOrderPasses) {
+  EXPECT_TRUE(analyze_fixture("lock_order_good.cpp").empty());
+}
+
+TEST(RdsAnalyze, JournalProtocolTrips) {
+  const auto findings = analyze_fixture("journal_bad.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{"journal-protocol"});
+  EXPECT_NE(findings[0].message.find("ignored"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("mutation"), std::string::npos);
+}
+
+TEST(RdsAnalyze, JournalProtocolPasses) {
+  EXPECT_TRUE(analyze_fixture("journal_good.cpp").empty());
+}
+
+TEST(RdsAnalyze, MetricBalanceTripsOnHistoricalBatchPlacerShape) {
+  const auto findings = analyze_fixture("gauge_leak_bad.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-balance");
+  // The finding points at the add(), not at the leaky call after it.
+  EXPECT_EQ(findings[0].line, 15);
+  EXPECT_NE(findings[0].message.find("inflight_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("GaugeGuard"), std::string::npos);
+}
+
+TEST(RdsAnalyze, MetricBalancePassesGuardAndManualBalance) {
+  EXPECT_TRUE(analyze_fixture("gauge_leak_good.cpp").empty());
+}
+
+TEST(RdsAnalyze, ResultFlowTrips) {
+  const auto findings = analyze_fixture("result_flow_bad.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "result-flow");
+  EXPECT_NE(findings[0].message.find("'fetched'"), std::string::npos);
+}
+
+TEST(RdsAnalyze, ResultFlowPasses) {
+  EXPECT_TRUE(analyze_fixture("result_flow_good.cpp").empty());
+}
+
+TEST(RdsAnalyze, CapacityArithTrips) {
+  const auto findings = analyze_fixture("capacity_math_bad.cpp");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(rules_of(findings), std::set<std::string>{"capacity-arith"});
+  EXPECT_EQ(lines_of(findings), (std::vector<int>{14, 20, 25}));
+}
+
+TEST(RdsAnalyze, CapacityArithPassesCheckedAndDoubleMath) {
+  EXPECT_TRUE(analyze_fixture("capacity_math_good.cpp").empty());
+}
+
+TEST(RdsAnalyze, SuppressionsCarryOverFromRdsLint) {
+  EXPECT_TRUE(analyze_fixture("suppressed_capacity.cpp").empty());
+}
+
+TEST(RdsAnalyze, OnlyRulesFilterApplies) {
+  Options opts;
+  opts.only_rules = {"result-flow"};
+  // A fixture that trips capacity-arith yields nothing under the filter.
+  EXPECT_TRUE(analyze_fixture("capacity_math_bad.cpp", opts).empty());
+}
+
+TEST(RdsAnalyze, SarifContainsEveryFinding) {
+  const auto findings = analyze_fixture("capacity_math_bad.cpp");
+  const std::string sarif =
+      rds::analyze::to_sarif(findings, RDS_LINT_FIXTURE_DIR);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"capacity-arith\""), std::string::npos);
+  EXPECT_NE(sarif.find("flow/capacity_math_bad.cpp"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 14"), std::string::npos);
+}
+
+TEST(RdsAnalyze, BaselineRoundTripsAndRatchets) {
+  const auto findings = analyze_fixture("capacity_math_bad.cpp");
+  ASSERT_EQ(findings.size(), 3u);
+  const std::string root = RDS_LINT_FIXTURE_DIR;
+  const std::string text = rds::analyze::format_baseline(findings, root);
+  const auto keys = rds::analyze::parse_baseline(text);
+  EXPECT_EQ(keys.size(), 3u);
+  // Everything baselined: nothing new.
+  EXPECT_TRUE(rds::analyze::new_findings(findings, keys, root).empty());
+  // Drop one key: exactly that finding comes back.
+  const auto partial =
+      std::vector<std::string>(keys.begin(), keys.begin() + 2);
+  EXPECT_EQ(rds::analyze::new_findings(findings, partial, root).size(), 1u);
+}
+
+// The committed baseline must reproduce byte-for-byte from the tree the
+// analyzer ships with -- the analyze_tree ctest enforces "no new
+// findings", this enforces "no stale baseline" too.
+TEST(RdsAnalyze, CommittedBaselineReproduces) {
+  const std::string root = RDS_LINT_SOURCE_DIR;
+  const std::vector<std::string> sources = rds::analyze::collect_sources(
+      {root + "/src", root + "/tools", root + "/bench"});
+  ASSERT_FALSE(sources.empty());
+  Analyzer analyzer;
+  for (const std::string& s : sources) analyzer.add_file(s);
+  ASSERT_TRUE(analyzer.io_errors().empty());
+  const std::string regenerated =
+      rds::analyze::format_baseline(analyzer.run(), root);
+
+  std::ifstream in(root + "/tools/rds_analyze/baseline.txt",
+                   std::ios::binary);
+  ASSERT_TRUE(in) << "missing tools/rds_analyze/baseline.txt";
+  std::ostringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(regenerated, committed.str())
+      << "stale baseline: regenerate with rds_analyze --emit-baseline";
+}
+
+}  // namespace

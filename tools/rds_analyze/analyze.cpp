@@ -1,0 +1,1101 @@
+#include "tools/rds_analyze/analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "tools/rds_analyze/cfg.hpp"
+#include "tools/rds_analyze/lexer.hpp"
+
+namespace rds::analyze {
+namespace {
+
+// ---- shared helpers --------------------------------------------------------
+
+bool is_ident(const Tok& t, std::string_view s) {
+  return t.kind == Kind::kIdent && t.text == s;
+}
+
+bool is_punct(const Tok& t, std::string_view s) {
+  return t.kind == Kind::kPunct && t.text == s;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::size_t fwd_match(const std::vector<Tok>& t, std::size_t i,
+                      const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+// ---- per-function lock/call facts ------------------------------------------
+
+/// What a function does that the lock-order rule cares about: the lock
+/// nodes it acquires directly (with the set already held at that point)
+/// and every call site (with the held set), for closure + edge building.
+struct LockAcq {
+  std::string node;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct CallSite {
+  std::string name;
+  std::string recv_type;  ///< resolved receiver type, "" if unknown
+  bool has_recv = false;  ///< x.f() / x->f()
+  bool qualified = false; ///< Q::f()
+  std::string qual;       ///< Q for qualified calls
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct FnFacts {
+  std::vector<LockAcq> acqs;
+  std::vector<CallSite> calls;
+};
+
+/// Parameter and local types, best effort: `Type[&*] name` where Type is
+/// a known class name.  Enough to resolve `disk.mu_` / `pool.mu_` and
+/// typed receiver calls; anything else stays an unknown receiver.
+std::map<std::string, std::string> collect_types(
+    const Function& fn, const std::set<std::string>& classes) {
+  std::map<std::string, std::string> types;
+  const auto scan = [&](const std::vector<Tok>& toks) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != Kind::kIdent || !classes.contains(toks[i].text)) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+              is_ident(toks[j], "const"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == Kind::kIdent) {
+        types[toks[j].text] = toks[i].text;
+      }
+    }
+  };
+  scan(fn.decl);
+  scan(fn.body);
+  return types;
+}
+
+std::set<std::string> collect_local_mutexes(const Function& fn) {
+  std::set<std::string> out;
+  const std::vector<Tok>& b = fn.body;
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    if (is_ident(b[i], "Mutex") && b[i + 1].kind == Kind::kIdent) {
+      out.insert(b[i + 1].text);
+    }
+  }
+  return out;
+}
+
+bool call_excluded(const std::string& name) {
+  static const std::set<std::string> kNotCalls = {
+      "if",     "while",    "for",     "switch",   "catch",   "sizeof",
+      "alignof", "decltype", "noexcept", "static_assert", "alignas",
+      "return", "throw",    "new",     "delete",   "MutexLock"};
+  return kNotCalls.contains(name) || name.starts_with("RDS_");
+}
+
+/// Token-linear walk with brace scoping.  Locks are RAII in this
+/// codebase, so scope tracking (plus explicit lock()/unlock() toggles,
+/// which BatchPlacer::worker_loop relies on) is an accurate model.
+FnFacts collect_fn_facts(const Function& fn, const std::string& cls_prefix,
+                         bool starts_locked,
+                         const std::map<std::string, std::string>& types,
+                         const std::set<std::string>& local_mutexes) {
+  FnFacts facts;
+  struct Active {
+    std::string var;
+    std::string node;
+    int depth = 0;
+    bool live = true;
+  };
+  std::vector<Active> locks;
+  if (starts_locked && !cls_prefix.empty()) {
+    locks.push_back({"<entry>", cls_prefix + "::mu_", -1, true});
+  }
+  const auto held = [&]() {
+    std::vector<std::string> h;
+    for (const Active& a : locks) {
+      if (a.live) h.push_back(a.node);
+    }
+    return h;
+  };
+
+  const std::vector<Tok>& b = fn.body;
+  int depth = 0;
+  const std::string self = fn.display;
+  const auto resolve_lock_expr = [&](std::size_t abeg,
+                                     std::size_t aend) -> std::string {
+    const std::size_t n = aend - abeg;
+    if (n == 1 && b[abeg].kind == Kind::kIdent) {
+      const std::string& v = b[abeg].text;
+      if (local_mutexes.contains(v)) return self + "." + v;
+      return cls_prefix + "::" + v;
+    }
+    if (n == 3 && b[abeg].kind == Kind::kIdent &&
+        (is_punct(b[abeg + 1], ".") || is_punct(b[abeg + 1], "->")) &&
+        b[abeg + 2].kind == Kind::kIdent) {
+      const auto it = types.find(b[abeg].text);
+      if (it != types.end()) return it->second + "::" + b[abeg + 2].text;
+      return "?" + self + "::" + b[abeg].text + "." + b[abeg + 2].text;
+    }
+    if (n >= 2 && b[abeg].kind == Kind::kIdent && is_punct(b[abeg + 1], "(")) {
+      // Lock-returning helper, e.g. lock_of(uid): one node per helper.
+      return cls_prefix + "::" + b[abeg].text + "()";
+    }
+    std::string joined = "?" + self + "::";
+    for (std::size_t k = abeg; k < aend; ++k) joined += b[k].text;
+    return joined;
+  };
+
+  std::size_t i = 0;
+  while (i < b.size()) {
+    const Tok& t = b[i];
+    if (is_punct(t, "{")) {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      std::erase_if(locks, [&](const Active& a) { return a.depth >= depth; });
+      --depth;
+      ++i;
+      continue;
+    }
+    if (is_ident(t, "MutexLock")) {
+      std::size_t j = i + 1;
+      std::string var;
+      if (j < b.size() && b[j].kind == Kind::kIdent) {
+        var = b[j].text;
+        ++j;
+      }
+      if (j < b.size() && (is_punct(b[j], "(") || is_punct(b[j], "{"))) {
+        const char* open = b[j].text == "(" ? "(" : "{";
+        const char* close = b[j].text == "(" ? ")" : "}";
+        const std::size_t cend = fwd_match(b, j, open, close);
+        const std::string node = resolve_lock_expr(j + 1, cend);
+        facts.acqs.push_back({node, t.line, held()});
+        locks.push_back({var, node, depth, true});
+        i = std::min(cend + 1, b.size());
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    // `lock.unlock()` / `lock.lock()` on a tracked guard variable.
+    if (t.kind == Kind::kIdent && i + 3 < b.size() && is_punct(b[i + 1], ".") &&
+        (is_ident(b[i + 2], "unlock") || is_ident(b[i + 2], "lock")) &&
+        is_punct(b[i + 3], "(")) {
+      bool toggled = false;
+      for (Active& a : locks) {
+        if (a.var == t.text) {
+          const bool want = b[i + 2].text == "lock";
+          if (want && !a.live) {
+            a.live = false;  // exclude self from held() below
+            std::vector<std::string> h = held();
+            facts.acqs.push_back({a.node, t.line, std::move(h)});
+          }
+          a.live = want;
+          toggled = true;
+        }
+      }
+      if (toggled) {
+        i += 4;
+        continue;
+      }
+    }
+    // Call sites.
+    if (t.kind == Kind::kIdent && i + 1 < b.size() && is_punct(b[i + 1], "(") &&
+        !call_excluded(t.text)) {
+      CallSite c;
+      c.name = t.text;
+      c.line = t.line;
+      c.held = held();
+      if (i >= 2 && (is_punct(b[i - 1], ".") || is_punct(b[i - 1], "->"))) {
+        c.has_recv = true;
+        if (b[i - 2].kind == Kind::kIdent) {
+          const auto it = types.find(b[i - 2].text);
+          if (it != types.end()) c.recv_type = it->second;
+        }
+      } else if (i >= 2 && is_punct(b[i - 1], "::") &&
+                 b[i - 2].kind == Kind::kIdent) {
+        c.qualified = true;
+        c.qual = b[i - 2].text;
+      }
+      facts.calls.push_back(std::move(c));
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return facts;
+}
+
+// ---- whole-program method registry -----------------------------------------
+
+using MethodKey = std::pair<std::string, std::string>;  // (class, name)
+
+struct MethodData {
+  bool defined = false;
+  bool abstract = false;
+  bool locking_ann = false;   ///< RDS_EXCLUDES on some declaration
+  bool requires_lock = false; ///< RDS_REQUIRES / *_locked
+  bool returns_result = false;
+  bool declared = false;
+  std::set<std::string> direct;   ///< direct lock nodes from the body
+  std::vector<CallSite> calls;    ///< for transitive closure
+};
+
+struct Registry {
+  std::map<MethodKey, MethodData> methods;
+  std::set<std::string> classes;
+
+  [[nodiscard]] const MethodData* find(const std::string& cls,
+                                       const std::string& name) const {
+    const auto it = methods.find({cls, name});
+    return it == methods.end() ? nullptr : &it->second;
+  }
+
+  /// True when some non-abstract class declares `name` without taking a
+  /// lock: an unknown receiver might be that class, so the edge is
+  /// dropped rather than guessed (no false cycles from name collisions).
+  [[nodiscard]] bool vetoed(const std::string& name,
+                            const std::string& enclosing) const {
+    for (const auto& [key, m] : methods) {
+      if (key.second != name || key.first.empty() || key.first == enclosing) {
+        continue;
+      }
+      if (!m.abstract && !m.locking_ann && !m.requires_lock &&
+          m.direct.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<MethodKey> resolve(
+      const CallSite& c, const std::string& enclosing) const {
+    if (c.qualified) {
+      if (find(c.qual, c.name) != nullptr) return {{c.qual, c.name}};
+      if (find("", c.name) != nullptr) return {{"", c.name}};
+      return {};
+    }
+    if (!c.has_recv) {
+      if (!enclosing.empty() && find(enclosing, c.name) != nullptr) {
+        return {{enclosing, c.name}};
+      }
+      if (find("", c.name) != nullptr) return {{"", c.name}};
+      return {};
+    }
+    if (!c.recv_type.empty()) {
+      if (find(c.recv_type, c.name) != nullptr) {
+        return {{c.recv_type, c.name}};
+      }
+      return {};
+    }
+    // Unknown receiver: candidates are lock-relevant definers elsewhere,
+    // unless a plain definer makes the name ambiguous.
+    if (vetoed(c.name, enclosing)) return {};
+    std::vector<MethodKey> out;
+    for (const auto& [key, m] : methods) {
+      if (key.second != c.name || key.first.empty() ||
+          key.first == enclosing) {
+        continue;
+      }
+      if (m.locking_ann || m.requires_lock || !m.direct.empty() ||
+          m.defined) {
+        out.push_back(key);
+      }
+    }
+    return out;
+  }
+};
+
+/// Transitive lock acquisitions of a method, memoized and cycle-safe.
+class AcquiresClosure {
+ public:
+  explicit AcquiresClosure(const Registry& reg) : reg_(reg) {}
+
+  const std::set<std::string>& of(const MethodKey& key) {
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    auto [slot, inserted] = memo_.emplace(key, std::set<std::string>{});
+    if (in_flight_.contains(key)) return slot->second;
+    in_flight_.insert(key);
+    std::set<std::string> acc;
+    const auto mit = reg_.methods.find(key);
+    if (mit != reg_.methods.end()) {
+      const MethodData& m = mit->second;
+      acc = m.direct;
+      if (m.locking_ann && !m.defined && !key.first.empty()) {
+        // Annotated but body unseen: assume it takes its class lock.
+        acc.insert(key.first + "::mu_");
+      }
+      for (const CallSite& c : m.calls) {
+        for (const MethodKey& target : reg_.resolve(c, key.first)) {
+          if (target == key) continue;
+          const std::set<std::string>& sub = of(target);
+          acc.insert(sub.begin(), sub.end());
+        }
+      }
+    }
+    in_flight_.erase(key);
+    memo_[key] = std::move(acc);
+    return memo_[key];
+  }
+
+ private:
+  const Registry& reg_;
+  std::map<MethodKey, std::set<std::string>> memo_;
+  std::set<MethodKey> in_flight_;
+};
+
+// ---- lock graph ------------------------------------------------------------
+
+struct EdgeWitness {
+  std::string file;
+  int line = 0;
+  std::string fn;
+};
+
+using LockGraph = std::map<std::string, std::map<std::string, EdgeWitness>>;
+
+void add_edge(LockGraph& g, const std::string& from, const std::string& to,
+              const EdgeWitness& w) {
+  if (from == to) return;  // re-entry on the same node is not an ordering
+  g[from].try_emplace(to, w);
+}
+
+/// Tarjan SCC over the lock graph; any component with >1 node is a
+/// potential deadlock cycle.
+struct Scc {
+  std::map<std::string, int> comp;
+  int count = 0;
+};
+
+Scc tarjan(const LockGraph& g) {
+  std::set<std::string> names;
+  for (const auto& [from, outs] : g) {
+    names.insert(from);
+    for (const auto& [to, w] : outs) names.insert(to);
+  }
+  Scc scc;
+  std::map<std::string, int> index;
+  std::map<std::string, int> low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::vector<std::string> succs;
+    std::size_t next = 0;
+  };
+  for (const std::string& root : names) {
+    if (index.contains(root)) continue;
+    std::vector<Frame> call_stack;
+    const auto open = [&](const std::string& v) {
+      index[v] = low[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      Frame f;
+      f.node = v;
+      const auto it = g.find(v);
+      if (it != g.end()) {
+        for (const auto& [to, w] : it->second) f.succs.push_back(to);
+      }
+      call_stack.push_back(std::move(f));
+    };
+    open(root);
+    while (!call_stack.empty()) {
+      Frame& f = call_stack.back();
+      if (f.next < f.succs.size()) {
+        const std::string w = f.succs[f.next++];
+        if (!index.contains(w)) {
+          open(w);
+        } else if (on_stack[w]) {
+          low[f.node] = std::min(low[f.node], index[w]);
+        }
+      } else {
+        if (low[f.node] == index[f.node]) {
+          while (true) {
+            const std::string v = stack.back();
+            stack.pop_back();
+            on_stack[v] = false;
+            scc.comp[v] = scc.count;
+            if (v == f.node) break;
+          }
+          ++scc.count;
+        }
+        const std::string done = f.node;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          low[call_stack.back().node] =
+              std::min(low[call_stack.back().node], low[done]);
+        }
+      }
+    }
+  }
+  return scc;
+}
+
+// ---- CFG reachability ------------------------------------------------------
+
+/// True when EXIT is reachable from `start`'s successors without passing
+/// through a barrier node.  `use_esucc` also follows exception edges of
+/// intermediate nodes; `start_esucc` additionally seeds the search with
+/// the start node's own exception edges.
+template <typename Barrier>
+bool reaches_exit(const Cfg& cfg, int start, bool use_esucc, bool start_esucc,
+                  Barrier barrier) {
+  std::deque<int> q;
+  std::set<int> seen;
+  const auto push = [&](int n) {
+    if (seen.insert(n).second) q.push_back(n);
+  };
+  for (const int s : cfg.nodes[start].succ) push(s);
+  if (start_esucc) {
+    for (const int s : cfg.nodes[start].esucc) push(s);
+  }
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop_front();
+    if (n == Cfg::kExit) return true;
+    if (barrier(n)) continue;
+    for (const int s : cfg.nodes[n].succ) push(s);
+    if (use_esucc) {
+      for (const int s : cfg.nodes[n].esucc) push(s);
+    }
+  }
+  return false;
+}
+
+/// All nodes reachable from `start` (successors, optionally exception
+/// edges), excluding `start` itself unless revisited through a loop.
+std::vector<int> reachable_after(const Cfg& cfg, int start, bool use_esucc) {
+  std::deque<int> q;
+  std::set<int> seen;
+  const auto push = [&](int n) {
+    if (seen.insert(n).second) q.push_back(n);
+  };
+  for (const int s : cfg.nodes[start].succ) push(s);
+  if (use_esucc) {
+    for (const int s : cfg.nodes[start].esucc) push(s);
+  }
+  std::vector<int> out;
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop_front();
+    out.push_back(n);
+    for (const int s : cfg.nodes[n].succ) push(s);
+    if (use_esucc) {
+      for (const int s : cfg.nodes[n].esucc) push(s);
+    }
+  }
+  return out;
+}
+
+// ---- rule: journal-protocol ------------------------------------------------
+
+/// Index of the first token of a member-state mutation in [b,e), or
+/// npos.  Members follow the codebase convention of a trailing '_'.
+std::size_t find_member_mutation(const std::vector<Tok>& t, std::size_t b,
+                                 std::size_t e) {
+  static const std::set<std::string> kMutators = {
+      "insert", "erase",   "emplace", "emplace_back", "push_back",
+      "pop_back", "clear", "reset",   "assign",       "push",
+      "pop",    "resize",  "try_emplace"};
+  static const std::set<std::string> kAssign = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    const Tok& tok = t[i];
+    if (tok.kind != Kind::kIdent || tok.text.size() < 2 ||
+        !tok.text.ends_with("_") || tok.text.ends_with("__")) {
+      continue;
+    }
+    if (i > b && t[i - 1].kind == Kind::kPunct &&
+        (t[i - 1].text == "++" || t[i - 1].text == "--")) {
+      return i - 1;
+    }
+    if (i > b && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->") ||
+                  is_punct(t[i - 1], "::"))) {
+      continue;  // x.y_ / Cls::kConst_ -- not a member of *this*
+    }
+    if (i + 1 >= e) continue;
+    const Tok& nx = t[i + 1];
+    if (nx.kind == Kind::kPunct && kAssign.contains(nx.text)) return i;
+    if ((is_punct(nx, ".") || is_punct(nx, "->")) && i + 3 < e &&
+        t[i + 2].kind == Kind::kIdent && is_punct(t[i + 3], "(") &&
+        kMutators.contains(t[i + 2].text)) {
+      return i;
+    }
+    if ((is_punct(nx, ".") || is_punct(nx, "->")) && i + 3 < e &&
+        t[i + 2].kind == Kind::kIdent && t[i + 3].kind == Kind::kPunct &&
+        kAssign.contains(t[i + 3].text)) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Position of an append call inside a node span: a `x->append(` /
+/// `x.append(` whose receiver mentions "journal" or "sink", or a call to
+/// a *journal*_locked / journal_append style helper.  Returns npos when
+/// the node has none.
+std::size_t find_append_call(const std::vector<Tok>& t, std::size_t b,
+                             std::size_t e, std::string* helper_name) {
+  for (std::size_t i = b; i + 1 < e && i + 1 < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent || !is_punct(t[i + 1], "(")) continue;
+    if (t[i].text == "append" && i >= 2 &&
+        (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
+        t[i - 2].kind == Kind::kIdent) {
+      const std::string recv = lower(t[i - 2].text);
+      if (recv.find("journal") != std::string::npos ||
+          recv.find("sink") != std::string::npos ||
+          recv.find("wal") != std::string::npos) {
+        helper_name->clear();
+        return i;
+      }
+    }
+    const std::string name = lower(t[i].text);
+    if ((name.find("journal") != std::string::npos &&
+         (name.ends_with("_locked") || name.find("append") !=
+                                           std::string::npos)) &&
+        (i < 2 || !(is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")))) {
+      *helper_name = t[i].text;
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// ---- registry-facing result ------------------------------------------------
+
+struct AnalysisState {
+  Registry reg;
+  LockGraph graph;
+  std::vector<Finding> findings;
+};
+
+bool mentions(const std::vector<Tok>& t, std::size_t b, std::size_t e,
+              const std::string& name, std::size_t skip) {
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (i == skip) continue;
+    if (is_ident(t[i], name)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- rule ids --------------------------------------------------------------
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> kIds = {
+      "lock-order", "journal-protocol", "metric-balance", "result-flow",
+      "capacity-arith"};
+  return kIds;
+}
+
+// ---- Analyzer --------------------------------------------------------------
+
+void Analyzer::add_text(std::string path, std::string_view text) {
+  paths_.push_back(std::move(path));
+  texts_.emplace_back(text);
+}
+
+bool Analyzer::add_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    io_errors_.push_back("cannot open " + path);
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  paths_.push_back(path);
+  texts_.push_back(std::move(ss).str());
+  return true;
+}
+
+std::vector<Finding> Analyzer::run(const Options& opts) {
+  // Deterministic whole-program order regardless of add order.
+  std::vector<std::size_t> order(paths_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return paths_[a] < paths_[b];
+  });
+
+  std::vector<FileModel> files;
+  files.reserve(order.size());
+  for (const std::size_t i : order) {
+    files.push_back(build_file_model(paths_[i], texts_[i]));
+  }
+
+  AnalysisState st;
+  for (const FileModel& fm : files) {
+    for (const std::string& c : fm.classes) st.reg.classes.insert(c);
+  }
+  // Registry pass: declarations first, then per-function facts.
+  for (const FileModel& fm : files) {
+    for (const Declaration& d : fm.decls) {
+      MethodData& m = st.reg.methods[{d.cls, d.name}];
+      m.declared = true;
+      m.abstract = m.abstract || d.abstract;
+      m.locking_ann = m.locking_ann || d.locking;
+      m.requires_lock = m.requires_lock || d.requires_lock;
+      m.returns_result = m.returns_result || d.returns_result;
+    }
+  }
+  std::map<const Function*, FnFacts> all_facts;
+  for (const FileModel& fm : files) {
+    for (const Function& fn : fm.functions) {
+      const MethodData* known = st.reg.find(fn.cls, fn.name);
+      const bool starts_locked =
+          (known != nullptr && known->requires_lock) ||
+          fn.name.ends_with("_locked");
+      const auto types = collect_types(fn, st.reg.classes);
+      const auto local_mutexes = collect_local_mutexes(fn);
+      FnFacts facts = collect_fn_facts(fn, fn.cls, starts_locked, types,
+                                       local_mutexes);
+      MethodData& m = st.reg.methods[{fn.cls, fn.name}];
+      m.defined = true;
+      m.requires_lock = m.requires_lock || fn.name.ends_with("_locked");
+      for (const LockAcq& a : facts.acqs) m.direct.insert(a.node);
+      if (!fn.is_lambda) {
+        // Calls *into* a lambda are not resolvable by name; the lambda
+        // body is analyzed as its own function instead.
+        for (const CallSite& c : facts.calls) m.calls.push_back(c);
+      }
+      all_facts.emplace(&fn, std::move(facts));
+    }
+  }
+
+  AcquiresClosure closure(st.reg);
+
+  // Lock graph: for every acquisition (direct or via a resolvable call)
+  // add held -> acquired edges.
+  for (const FileModel& fm : files) {
+    for (const Function& fn : fm.functions) {
+      const FnFacts& facts = all_facts.at(&fn);
+      for (const LockAcq& a : facts.acqs) {
+        for (const std::string& h : a.held) {
+          add_edge(st.graph, h, a.node, {fm.path, a.line, fn.display});
+        }
+      }
+      for (const CallSite& c : facts.calls) {
+        if (c.held.empty()) continue;
+        for (const MethodKey& target : st.reg.resolve(c, fn.cls)) {
+          for (const std::string& node : closure.of(target)) {
+            for (const std::string& h : c.held) {
+              add_edge(st.graph, h, node, {fm.path, c.line, fn.display});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Suppression lookup by file path.
+  std::map<std::string, const Suppressions*> sup_of;
+  for (const FileModel& fm : files) sup_of[fm.path] = &fm.sup;
+  const auto emit = [&](const std::string& file, int line,
+                        const std::string& rule, std::string message) {
+    const auto it = sup_of.find(file);
+    if (it != sup_of.end() && it->second->allows(line, rule)) return;
+    st.findings.push_back({file, line, rule, std::move(message)});
+  };
+
+  // ---- lock-order findings -------------------------------------------------
+  {
+    const Scc scc = tarjan(st.graph);
+    std::map<int, std::vector<std::string>> members;
+    for (const auto& [node, comp] : scc.comp) members[comp].push_back(node);
+    std::set<int> reported;
+    for (const auto& [from, outs] : st.graph) {
+      for (const auto& [to, w] : outs) {
+        const auto cf = scc.comp.find(from);
+        const auto ct = scc.comp.find(to);
+        if (cf == scc.comp.end() || ct == scc.comp.end() ||
+            cf->second != ct->second) {
+          continue;
+        }
+        if (!reported.insert(cf->second).second) continue;
+        std::string cyc;
+        for (const std::string& n : members[cf->second]) {
+          if (!cyc.empty()) cyc += ", ";
+          cyc += n;
+        }
+        emit(w.file, w.line, "lock-order",
+             "acquiring " + to + " while holding " + from + " (in " + w.fn +
+                 ") closes a lock cycle among {" + cyc +
+                 "}; establish one order and stick to it");
+      }
+    }
+    // Documented order: pool before volume (src/storage/storage_pool.hpp).
+    static const std::vector<std::pair<std::string, std::string>> kOrder = {
+        {"StoragePool::mu_", "VirtualDisk::mu_"}};
+    for (const auto& [first, second] : kOrder) {
+      const auto it = st.graph.find(second);
+      if (it == st.graph.end()) continue;
+      const auto e = it->second.find(first);
+      if (e == it->second.end()) continue;
+      emit(e->second.file, e->second.line, "lock-order",
+           "acquiring " + first + " while holding " + second + " (in " +
+               e->second.fn + ") inverts the documented pool -> volume "
+               "order (storage_pool.hpp)");
+    }
+  }
+
+  // ---- per-function CFG rules ---------------------------------------------
+  for (const FileModel& fm : files) {
+    // Gauge-typed receivers bound in this translation unit.
+    std::set<std::string> gauge_vars;
+    for (std::size_t i = 0; i + 2 < fm.toks.size(); ++i) {
+      const Tok& t = fm.toks[i];
+      if (t.kind != Kind::kIdent) continue;
+      if (!(is_punct(fm.toks[i + 1], "=") || is_punct(fm.toks[i + 1], "(") ||
+            is_punct(fm.toks[i + 1], "{"))) {
+        continue;
+      }
+      for (std::size_t j = i + 2; j < std::min(fm.toks.size(), i + 14); ++j) {
+        if (is_ident(fm.toks[j], "gauge") && j + 1 < fm.toks.size() &&
+            is_punct(fm.toks[j + 1], "(")) {
+          gauge_vars.insert(t.text);
+          break;
+        }
+        if (is_punct(fm.toks[j], ";")) break;
+      }
+    }
+
+    for (const Function& fn : fm.functions) {
+      const Cfg cfg = build_cfg(fn);
+      const std::vector<Tok>& b = fn.body;
+
+      // ---- journal-protocol ----
+      for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
+        const CfgNode& node = cfg.nodes[n];
+        std::string helper;
+        const std::size_t ap =
+            find_append_call(b, node.begin, node.end, &helper);
+        if (ap == static_cast<std::size_t>(-1)) continue;
+        // (a) The append's Result must be consumed.  Helpers that return
+        // void (StoragePool::journal_locked throws internally) are exempt.
+        bool needs_check = helper.empty();
+        if (!helper.empty()) {
+          const MethodData* hm = st.reg.find(fn.cls, helper);
+          if (hm == nullptr) hm = st.reg.find("", helper);
+          needs_check = hm != nullptr && hm->returns_result;
+        }
+        if (needs_check && !node.is_branch) {
+          bool consumed = false;
+          std::string stored;
+          for (std::size_t k = node.begin; k < ap; ++k) {
+            if (is_punct(b[k], "=") && k > node.begin &&
+                b[k - 1].kind == Kind::kIdent) {
+              consumed = true;
+              stored = b[k - 1].text;
+            }
+            if (is_ident(b[k], "return") || is_ident(b[k], "co_return")) {
+              consumed = true;
+            }
+          }
+          for (std::size_t k = ap; k < node.end && k < b.size(); ++k) {
+            if (is_ident(b[k], "value_or_throw") || is_ident(b[k], "ok") ||
+                is_ident(b[k], "code") || is_ident(b[k], "error")) {
+              consumed = true;
+              stored.clear();
+            }
+          }
+          if (!consumed) {
+            emit(fm.path, node.line, "journal-protocol",
+                 "journal append result is ignored in " + fn.display +
+                     "; the append is the commit point -- check it "
+                     "(docs/persistence.md)");
+          } else if (!stored.empty()) {
+            const std::string var = stored;
+            const bool inline_use = [&] {
+              std::size_t eq = node.begin;
+              for (std::size_t k = node.begin; k < ap; ++k) {
+                if (is_punct(b[k], "=")) eq = k;
+              }
+              for (std::size_t k = eq + 1; k < node.end && k < b.size(); ++k) {
+                if (is_ident(b[k], var)) return true;
+              }
+              return false;
+            }();
+            if (!inline_use &&
+                reaches_exit(cfg, static_cast<int>(n), /*use_esucc=*/false,
+                             /*start_esucc=*/false, [&](int m) {
+                               const CfgNode& mm = cfg.nodes[m];
+                               return mentions(b, mm.begin, mm.end, var,
+                                               static_cast<std::size_t>(-1));
+                             })) {
+              emit(fm.path, node.line, "journal-protocol",
+                   "journal append result '" + var + "' in " + fn.display +
+                       " is not checked on every path (docs/persistence.md)");
+            }
+          }
+        }
+        // (b) No state mutation reachable after the append: the append is
+        // the commit point, so journal order must equal commit order.
+        for (const int m : reachable_after(cfg, static_cast<int>(n),
+                                           /*use_esucc=*/true)) {
+          if (m == Cfg::kExit || m == Cfg::kEntry) continue;
+          const CfgNode& mn = cfg.nodes[m];
+          const std::size_t mut =
+              find_member_mutation(b, mn.begin, mn.end);
+          if (mut == static_cast<std::size_t>(-1)) continue;
+          emit(fm.path, mn.line, "journal-protocol",
+               "state mutation of '" + b[mut].text + "' in " + fn.display +
+                   " is reachable after the journal append at line " +
+                   std::to_string(node.line) +
+                   "; mutate before journaling (journal order is commit "
+                   "order, docs/persistence.md)");
+        }
+      }
+
+      // ---- metric-balance ----
+      {
+        const auto site_of = [&](const CfgNode& node, const char* what)
+            -> std::string {
+          for (std::size_t k = node.begin;
+               k + 3 < node.end && k + 3 < b.size(); ++k) {
+            if (b[k].kind == Kind::kIdent && gauge_vars.contains(b[k].text) &&
+                (is_punct(b[k + 1], ".") || is_punct(b[k + 1], "->")) &&
+                is_ident(b[k + 2], what) && is_punct(b[k + 3], "(")) {
+              return b[k].text;
+            }
+          }
+          return {};
+        };
+        std::map<std::string, std::vector<int>> adds;
+        std::map<std::string, std::vector<int>> subs;
+        for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
+          const std::string a = site_of(cfg.nodes[n], "add");
+          if (!a.empty()) adds[a].push_back(static_cast<int>(n));
+          const std::string s = site_of(cfg.nodes[n], "sub");
+          if (!s.empty()) subs[s].push_back(static_cast<int>(n));
+        }
+        for (const auto& [var, add_nodes] : adds) {
+          const auto sit = subs.find(var);
+          if (sit == subs.end()) continue;  // monotonic gauge: no pairing
+          const std::set<int> sub_set(sit->second.begin(), sit->second.end());
+          for (const int a : add_nodes) {
+            // The add itself does not throw; everything after it may.
+            if (reaches_exit(cfg, a, /*use_esucc=*/true,
+                             /*start_esucc=*/false, [&](int m) {
+                               return sub_set.contains(m);
+                             })) {
+              emit(fm.path, cfg.nodes[a].line, "metric-balance",
+                   "gauge '" + var + "' add() in " + fn.display +
+                       " is not matched by sub() on every path (exception "
+                       "edges included); use rds::metrics::GaugeGuard");
+            }
+          }
+        }
+      }
+
+      // ---- result-flow ----
+      for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
+        const CfgNode& node = cfg.nodes[n];
+        std::size_t def = static_cast<std::size_t>(-1);
+        std::string var;
+        for (std::size_t k = node.begin; k + 1 < node.end && k + 1 < b.size();
+             ++k) {
+          if (b[k].kind != Kind::kIdent || !is_punct(b[k + 1], "=")) continue;
+          if (b[k].text.ends_with("_")) continue;
+          for (std::size_t j = k + 2; j + 1 < node.end && j + 1 < b.size();
+               ++j) {
+            if (b[j].kind == Kind::kIdent && b[j].text.starts_with("try_") &&
+                is_punct(b[j + 1], "(")) {
+              def = k;
+              var = b[k].text;
+              break;
+            }
+            if (is_punct(b[j], ";")) break;
+          }
+          if (def != static_cast<std::size_t>(-1)) break;
+        }
+        if (def == static_cast<std::size_t>(-1)) continue;
+        // Inspected within the defining statement (if-init etc.)?
+        if (mentions(b, def + 1, node.end, var, static_cast<std::size_t>(-1))) {
+          continue;
+        }
+        if (reaches_exit(cfg, static_cast<int>(n), /*use_esucc=*/false,
+                         /*start_esucc=*/false, [&](int m) {
+                           const CfgNode& mm = cfg.nodes[m];
+                           return mentions(b, mm.begin, mm.end, var,
+                                           static_cast<std::size_t>(-1));
+                         })) {
+          emit(fm.path, node.line, "result-flow",
+               "Result from try_* stored in '" + var + "' in " + fn.display +
+                   " is dropped on some path without being inspected");
+        }
+      }
+    }
+
+    // ---- capacity-arith (token level, per file) ----
+    if (!fm.path.ends_with("checked_math.hpp")) {
+      const std::vector<Tok>& t = fm.toks;
+      std::vector<const Tok*> code;
+      for (const Tok& tok : t) {
+        if (tok.kind != Kind::kComment && tok.kind != Kind::kPreproc) {
+          code.push_back(&tok);
+        }
+      }
+      const auto is_capacity_ident = [](const Tok* tok) {
+        if (tok->kind != Kind::kIdent) return false;
+        const std::string low = lower(tok->text);
+        return low.find("capacity") != std::string::npos ||
+               low == "b_max" || low == "bmax";
+      };
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        const Tok* op = code[i];
+        if (op->kind != Kind::kPunct) continue;
+        const bool additive = op->text == "+" || op->text == "+=";
+        const bool multiplicative = op->text == "*" || op->text == "*=";
+        if (!additive && !multiplicative) continue;
+        if (i == 0 || i + 1 >= code.size()) continue;
+        // Binary use only: the left neighbour must be a value.
+        const Tok* lhs = code[i - 1];
+        if (!(lhs->kind == Kind::kIdent || lhs->kind == Kind::kNumber ||
+              lhs->text == ")" || lhs->text == "]")) {
+          continue;
+        }
+        // Operand chains on both sides.
+        bool capacity = false;
+        {
+          std::size_t j = i;
+          while (j > 0) {
+            --j;
+            const Tok* tk = code[j];
+            if (tk->text == ")" || tk->text == "]") {
+              const char* open = tk->text == ")" ? "(" : "[";
+              int depth = 0;
+              while (true) {
+                if (code[j]->text == tk->text) ++depth;
+                if (code[j]->text == open && --depth == 0) break;
+                if (j == 0) break;
+                --j;
+              }
+              continue;
+            }
+            if (tk->kind == Kind::kIdent) {
+              if (is_capacity_ident(tk)) capacity = true;
+            } else if (tk->text != "." && tk->text != "->" &&
+                       tk->text != "::") {
+              break;
+            }
+          }
+        }
+        {
+          std::size_t j = i + 1;
+          while (j < code.size()) {
+            const Tok* tk = code[j];
+            if (tk->text == "(" || tk->text == "[") {
+              const char* close = tk->text == "(" ? ")" : "]";
+              j = [&] {
+                int depth = 0;
+                for (std::size_t k = j; k < code.size(); ++k) {
+                  if (code[k]->text == tk->text) ++depth;
+                  if (code[k]->text == close && --depth == 0) return k;
+                }
+                return code.size();
+              }();
+              ++j;
+              continue;
+            }
+            if (tk->kind == Kind::kIdent || tk->kind == Kind::kNumber) {
+              if (is_capacity_ident(tk)) capacity = true;
+              ++j;
+              continue;
+            }
+            if (tk->text == "." || tk->text == "->" || tk->text == "::") {
+              ++j;
+              continue;
+            }
+            break;
+          }
+        }
+        if (!capacity) continue;
+        // Floating-point statements are the double-precision analysis
+        // path (Lemma 2.1/2.2 math) -- overflow is not the failure mode.
+        bool fp = false;
+        {
+          std::size_t lo = i;
+          while (lo > 0 && code[lo]->text != ";" && code[lo]->text != "{" &&
+                 code[lo]->text != "}") {
+            --lo;
+          }
+          std::size_t hi = i;
+          while (hi + 1 < code.size() && code[hi]->text != ";" &&
+                 code[hi]->text != "}") {
+            ++hi;
+          }
+          for (std::size_t k = lo; k <= hi && k < code.size(); ++k) {
+            if (is_ident(*code[k], "double") || is_ident(*code[k], "float")) {
+              fp = true;
+              break;
+            }
+          }
+        }
+        if (fp) continue;
+        emit(fm.path, op->line, "capacity-arith",
+             std::string("unchecked '") + op->text +
+                 "' on capacity values; route through rds::checked_add/"
+                 "checked_mul (src/util/checked_math.hpp)");
+      }
+    }
+  }
+
+  // ---- filtering + ordering -------------------------------------------------
+  std::vector<Finding> out;
+  for (Finding& f : st.findings) {
+    if (!opts.only_rules.empty() &&
+        std::find(opts.only_rules.begin(), opts.only_rules.end(), f.rule) ==
+            opts.only_rules.end()) {
+      continue;
+    }
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<Finding> analyze_text(const std::string& path,
+                                  std::string_view text, const Options& opts) {
+  Analyzer a;
+  a.add_text(path, text);
+  return a.run(opts);
+}
+
+}  // namespace rds::analyze

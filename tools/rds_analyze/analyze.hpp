@@ -1,0 +1,73 @@
+#pragma once
+
+/// rds_analyze: flow-aware static analysis for this repository
+/// (docs/static_analysis.md).  Five whole-program / per-function rule
+/// families on top of the lexer + CFG layers:
+///
+///   lock-order       cycles in the mutex acquisition graph, and
+///                    volume->pool inversions of the documented
+///                    pool->volume order (storage_pool.hpp)
+///   journal-protocol the journal append is the commit point: its Result
+///                    is checked on every path and no state mutation is
+///                    reachable after an append (docs/persistence.md)
+///   metric-balance   every gauge add() is matched by a sub() on all
+///                    outgoing paths, exception edges included
+///   result-flow      a Result from a try_* call stored in a local is
+///                    inspected on every (non-exceptional) path
+///   capacity-arith   unchecked +/* on capacity values outside
+///                    src/util/checked_math.hpp
+///
+/// `// rds_lint: allow(rule) -- reason` suppressions carry over from
+/// rds_lint unchanged.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rds::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// When non-empty, only run these rule ids.
+  std::vector<std::string> only_rules;
+};
+
+/// Stable ids of every rule family.
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Whole-program analyzer: feed it every translation unit, then run().
+/// Cross-file state (the lock acquisition graph, the method registry) is
+/// built over everything added; per-function rules run per file.
+class Analyzer {
+ public:
+  /// Analyze in-memory text under the given path (fixtures, tests).
+  void add_text(std::string path, std::string_view text);
+
+  /// Read and add a file; returns false (and records an io error) when
+  /// the file cannot be read.
+  bool add_file(const std::string& path);
+
+  [[nodiscard]] std::vector<Finding> run(const Options& opts = {});
+
+  [[nodiscard]] const std::vector<std::string>& io_errors() const {
+    return io_errors_;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  std::vector<std::string> texts_;
+  std::vector<std::string> io_errors_;
+};
+
+/// One-shot single-file convenience used by the fixture tests.
+[[nodiscard]] std::vector<Finding> analyze_text(const std::string& path,
+                                                std::string_view text,
+                                                const Options& opts = {});
+
+}  // namespace rds::analyze

@@ -1,0 +1,81 @@
+#pragma once
+
+/// Function extraction and per-function control-flow graphs for rds_analyze
+/// (docs/static_analysis.md).
+///
+/// This is deliberately NOT a C++ parse.  A scope walker finds function
+/// bodies (free functions, in-class methods, out-of-class `Cls::method`
+/// definitions, lambdas); each body becomes a statement/branch CFG with
+/// `if`/loop/`switch`/`try`-`catch` edges plus exception edges from every
+/// node that can throw (a call or an explicit `throw`) to the innermost
+/// enclosing catch handler, or to EXIT when there is none.  Lambdas are
+/// analyzed as separate functions and their bodies are excised from the
+/// enclosing function's token stream, so a rule never sees a lambda's
+/// statements as if they executed inline at the definition site.
+
+#include <string>
+#include <vector>
+
+#include "tools/rds_analyze/lexer.hpp"
+
+namespace rds::analyze {
+
+/// One extracted function body.
+struct Function {
+  std::string cls;      ///< enclosing class ("" for free functions)
+  std::string name;     ///< method name; lambdas are "<fn>::lambda@<line>"
+  std::string display;  ///< "Cls::name" or just "name"
+  int line = 0;         ///< line of the declaration
+  bool is_lambda = false;
+  std::vector<Tok> decl;  ///< signature tokens (return type .. before '{')
+  std::vector<Tok> body;  ///< code tokens inside '{ }', lambda bodies excised
+};
+
+/// A method or free-function declaration harvested while scope-walking.
+/// Definitions contribute one too, so the whole-program registry sees
+/// every signature whether or not the header was scanned first.
+struct Declaration {
+  std::string cls;  ///< "" for free functions
+  std::string name;
+  bool abstract = false;       ///< pure virtual (`= 0`)
+  bool locking = false;        ///< RDS_EXCLUDES(...) on the declaration
+  bool requires_lock = false;  ///< RDS_REQUIRES(...) or a *_locked name
+  bool returns_result = false;  ///< return type mentions Result
+};
+
+/// Everything rds_analyze keeps per translation unit.
+struct FileModel {
+  std::string path;
+  std::vector<Tok> toks;  ///< full token stream (comments included)
+  Suppressions sup;
+  std::vector<Function> functions;
+  std::vector<Declaration> decls;
+  std::vector<std::string> classes;  ///< class/struct names seen in this file
+};
+
+[[nodiscard]] FileModel build_file_model(std::string path,
+                                         std::string_view text);
+
+/// CFG node: one statement (or branch condition).  `succ` are normal
+/// control-flow successors; `esucc` are exception successors (populated
+/// when the node contains a call or a `throw`).
+struct CfgNode {
+  int line = 0;
+  std::size_t begin = 0;  ///< token span [begin,end) into Function::body
+  std::size_t end = 0;
+  bool has_call = false;
+  bool is_throw = false;
+  bool is_branch = false;  ///< if/loop/switch condition node
+  std::vector<int> succ;
+  std::vector<int> esucc;
+};
+
+struct Cfg {
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+  std::vector<CfgNode> nodes;  ///< nodes[0] = ENTRY, nodes[1] = EXIT
+};
+
+[[nodiscard]] Cfg build_cfg(const Function& fn);
+
+}  // namespace rds::analyze

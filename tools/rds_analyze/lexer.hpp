@@ -1,0 +1,45 @@
+#pragma once
+
+/// Token layer for rds_analyze (docs/static_analysis.md).
+///
+/// Same loose C++ lexer philosophy as tools/rds_lint: tell identifiers,
+/// literals, comments and preprocessor lines apart, fold continuations,
+/// survive raw strings -- and nothing more.  The flow rules are built from
+/// token streams plus a per-function CFG (cfg.hpp), never a real parse, so
+/// the analyzer stays independent of compiler internals.
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rds::analyze {
+
+enum class Kind { kIdent, kNumber, kString, kChar, kPunct, kComment, kPreproc };
+
+struct Tok {
+  Kind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// Lex `s` into tokens.  Never fails: malformed input produces best-effort
+/// tokens, which at worst costs a rule some precision, never a crash.
+[[nodiscard]] std::vector<Tok> tokenize(std::string_view s);
+
+/// `// rds_lint: allow(rule) -- reason` comments, exactly the rds_lint
+/// syntax so one suppression grammar covers both tools.  The reason is
+/// mandatory; a standalone comment also covers the next code line.
+struct Suppressions {
+  std::map<int, std::set<std::string>> by_line;
+
+  [[nodiscard]] bool allows(int line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.contains(rule);
+  }
+};
+
+[[nodiscard]] Suppressions collect_suppressions(const std::vector<Tok>& toks);
+
+}  // namespace rds::analyze

@@ -1,0 +1,196 @@
+#include "tools/rds_analyze/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+namespace rds::analyze {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string baseline_key(const Finding& f, const std::string& root) {
+  return relative_to(f.file, root) + "|" + std::to_string(f.line) + "|" +
+         f.rule + "|" + f.message;
+}
+
+}  // namespace
+
+std::string relative_to(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::error_code ec;
+  const std::filesystem::path p =
+      std::filesystem::weakly_canonical(path, ec);
+  const std::filesystem::path r =
+      std::filesystem::weakly_canonical(root, ec);
+  if (ec) return path;
+  const auto rel = std::filesystem::relative(p, r, ec);
+  if (ec) return path;
+  const std::string s = rel.generic_string();
+  if (s.empty() || s == "." || s.starts_with("..")) return path;
+  return s;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings,
+                     const std::string& root) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"rds_analyze\",\n"
+      << "      \"informationUri\": \"docs/static_analysis.md\",\n"
+      << "      \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids()) {
+    out << (first ? "" : ", ") << "{\"id\": \"" << id << "\"}";
+    first = false;
+  }
+  out << "]\n    }},\n    \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n")
+        << "      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(relative_to(f.file, root))
+        << "\"}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+        << "}}}]}";
+    first = false;
+  }
+  out << "\n    ]\n  }]\n}\n";
+  return out.str();
+}
+
+std::string format_baseline(const std::vector<Finding>& findings,
+                            const std::string& root) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(baseline_key(f, root));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string out =
+      "# rds_analyze baseline: one `file|line|rule|message` per line.\n"
+      "# Findings listed here are tolerated (ratchet); anything new fails.\n"
+      "# Regenerate with: rds_analyze --emit-baseline <this file> ...\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> parse_baseline(const std::string& text) {
+  std::vector<std::string> keys;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line.front() == '#') continue;
+    keys.push_back(line);
+  }
+  return keys;
+}
+
+std::vector<Finding> new_findings(const std::vector<Finding>& findings,
+                                  const std::vector<std::string>& baseline,
+                                  const std::string& root) {
+  const std::set<std::string> base(baseline.begin(), baseline.end());
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (!base.contains(baseline_key(f, root))) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  const auto analyzable = [](const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+  };
+  std::set<std::string> out;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      auto it = std::filesystem::recursive_directory_iterator(
+          path, std::filesystem::directory_options::skip_permission_denied,
+          ec);
+      const auto end = std::filesystem::recursive_directory_iterator{};
+      while (it != end) {
+        const std::filesystem::path& p = it->path();
+        const std::string name = p.filename().string();
+        if (it->is_directory(ec) &&
+            (name == "build" || (!name.empty() && name.front() == '.'))) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file(ec) && analyzable(p)) {
+          out.insert(p.string());
+        }
+        it.increment(ec);
+        if (ec) break;
+      }
+    } else {
+      out.insert(path);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> compile_commands_files(const std::string& json_text) {
+  std::set<std::string> out;
+  const std::string key = "\"file\"";
+  std::size_t pos = 0;
+  while ((pos = json_text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    pos = json_text.find_first_not_of(" \t\r\n", pos);
+    if (pos == std::string::npos || json_text[pos] != ':') continue;
+    pos = json_text.find_first_not_of(" \t\r\n", pos + 1);
+    if (pos == std::string::npos || json_text[pos] != '"') continue;
+    ++pos;
+    std::string value;
+    while (pos < json_text.size() && json_text[pos] != '"') {
+      if (json_text[pos] == '\\' && pos + 1 < json_text.size()) {
+        ++pos;  // minimal unescape: \" and \\ (CMake emits plain paths)
+      }
+      value += json_text[pos];
+      ++pos;
+    }
+    const std::filesystem::path p(value);
+    const std::string ext = p.extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
+      out.insert(value);
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace rds::analyze

@@ -302,11 +302,17 @@ int cmd_analyze(const Args& args) {
   }
   std::ranges::sort(caps, std::greater<>());
   const CapacityAnalysis a = analyze_capacity(caps, args.k);
+  // The double-based analysis can misjudge feasibility near the k*b_max = B
+  // boundary for capacities beyond 2^53; the exact test never does.
+  const bool exact_feasible =
+      config_from(args.caps).try_capacity_efficient(args.k).value_or_throw();
   std::cout << "devices:            " << caps.size() << '\n'
             << "replication k:      " << args.k << '\n'
             << "raw capacity B:     " << a.raw_capacity << '\n'
             << "feasible (L2.1):    "
             << (a.feasible_unadjusted ? "yes" : "no") << '\n'
+            << "feasible (exact):   " << (exact_feasible ? "yes" : "no")
+            << '\n'
             << "usable capacity B': " << a.usable_capacity << '\n'
             << "max balls (L2.2):   " << a.max_balls << '\n'
             << "adjusted weights:  ";
