@@ -1,0 +1,77 @@
+// Entry point for the perf_* google-benchmark binaries -- the layer that
+// makes committed benchmark JSON trustworthy.
+//
+// Two problems it solves (docs/benchmarks.md):
+//
+//  1. A debug build must never masquerade as a perf measurement.  When the
+//     binary is compiled without NDEBUG, JSON emission is refused outright
+//     (exit 1 before any benchmark runs) and console runs carry a loud
+//     banner, so a debug-build BENCH_*.json cannot be produced, let alone
+//     committed.
+//
+//  2. The stock JSON context key `library_build_type` reports how the
+//     google-benchmark LIBRARY was compiled, not this repo's code -- on
+//     Debian the packaged libbenchmark ships with assertions on, which
+//     stamps every run "debug" regardless of the flags the code under test
+//     was built with (exactly the trap the first committed BENCH_batch.json
+//     fell into).  perf_main() records the truth about the code under test
+//     as the custom context key `rds_build_type`; `perf_ratchet stamp`
+//     then rewrites `library_build_type` from it (keeping the library's
+//     own mode as `benchmark_library_assertions`).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string_view>
+
+namespace rds::bench {
+
+#ifdef NDEBUG
+inline constexpr bool kReleaseBuild = true;
+#else
+inline constexpr bool kReleaseBuild = false;
+#endif
+
+/// True when any benchmark flag asks for machine-readable output (a JSON
+/// console format or any --benchmark_out file, whatever its format).
+inline bool machine_output_requested(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--benchmark_format=") &&
+        arg != "--benchmark_format=console") {
+      return true;
+    }
+    if (arg.starts_with("--benchmark_out=") ||
+        arg.starts_with("--benchmark_out_format=")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// main() body shared by every perf binary.
+inline int perf_main(int argc, char** argv) {
+  if (!kReleaseBuild && machine_output_requested(argc, argv)) {
+    std::cerr
+        << "perf harness: refusing to emit benchmark output files from a "
+           "build without NDEBUG.\n"
+           "Reconfigure with -DCMAKE_BUILD_TYPE=Release (bench/run_perf.sh "
+           "does this) and rerun;\ndebug-build numbers must never reach a "
+           "committed BENCH_*.json.\n";
+    return 1;
+  }
+  if (!kReleaseBuild) {
+    std::cerr << "==== DEBUG BUILD (NDEBUG off): timings below are NOT "
+                 "representative ====\n";
+  }
+  benchmark::AddCustomContext("rds_build_type",
+                              kReleaseBuild ? "release" : "debug");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rds::bench

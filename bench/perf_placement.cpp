@@ -1,16 +1,22 @@
 // Placement-latency microbenchmarks (Section 3 prose: LinMirror /
-// k-replication run in O(n); the Section 3.3 variant in O(k) lookups --
-// O(k log n) in this implementation).
+// k-replication run in O(n); Section 3.3 trades memory for speed: O(k log n)
+// in FastRedundantShare, O(k) alias lookups in PrecomputedRedundantShare).
 //
 // Measures ns/placement across cluster sizes and replication degrees for
-// Redundant Share, the fast variant, and the single-copy substrates, plus
-// strategy (re)construction cost.
+// Redundant Share, both Section 3.3 variants, and the single-copy
+// substrates, plus strategy (re)construction cost -- the other side of the
+// O(k) trade (tables are rebuilt per committed topology change).  The
+// bm_factory_* rows construct through make_replication_strategy, i.e. the
+// exact path VirtualDisk::apply_config takes; the perf ratchet's headline
+// speedup check (precomputed vs redundant-share, docs/benchmarks.md) reads
+// those rows.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <numeric>
 #include <vector>
 
+#include "bench/perf_main.hpp"
 #include "src/core/fast_redundant_share.hpp"
 #include "src/core/precomputed_redundant_share.hpp"
 #include "src/core/redundant_share.hpp"
@@ -19,6 +25,7 @@
 #include "src/placement/rendezvous.hpp"
 #include "src/placement/share.hpp"
 #include "src/placement/sieve.hpp"
+#include "src/placement/strategy_factory.hpp"
 #include "src/placement/trivial_replication.hpp"
 #include "src/placement/weighted_dht.hpp"
 #include "src/util/random.hpp"
@@ -62,6 +69,44 @@ void bm_single(benchmark::State& state) {
     benchmark::DoNotOptimize(strategy.place(address++));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Factory-path placement: the strategy is built by make_replication_strategy
+// exactly as VirtualDisk::apply_config / rds_cli do, so these rows measure
+// what a live system actually serves (virtual dispatch included).
+void bm_factory_replicated(benchmark::State& state, PlacementKind kind) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const ClusterConfig config = make_cluster(n);
+  const std::unique_ptr<ReplicationStrategy> strategy =
+      make_replication_strategy(kind, config, k);
+  std::vector<DeviceId> out(k);
+  std::uint64_t address = 0;
+  for (auto _ : state) {
+    strategy->place(address++, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// place_many through the factory product: the batch entry point BatchPlacer
+// chunks feed (amortized span check, no per-address virtual dispatch).
+void bm_factory_place_many(benchmark::State& state, PlacementKind kind) {
+  constexpr std::size_t kBatch = 4096;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<unsigned>(state.range(1));
+  const ClusterConfig config = make_cluster(n);
+  const std::unique_ptr<ReplicationStrategy> strategy =
+      make_replication_strategy(kind, config, k);
+  std::vector<std::uint64_t> addresses(kBatch);
+  std::iota(addresses.begin(), addresses.end(), std::uint64_t{0});
+  std::vector<DeviceId> out(kBatch * k);
+  for (auto _ : state) {
+    strategy->place_many(addresses, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatch));
 }
 
 template <typename Strategy>
@@ -132,12 +177,43 @@ BENCHMARK_TEMPLATE(bm_single, Sieve)->Arg(10)->Arg(100)->Arg(1000);
 BENCHMARK_TEMPLATE(bm_single, WeightedDht)->Arg(10)->Arg(100)->Arg(1000);
 
 BENCHMARK_TEMPLATE(bm_batch_place, FastRedundantShare)->Apply(batch_args);
+BENCHMARK_TEMPLATE(bm_batch_place, PrecomputedRedundantShare)
+    ->Apply(batch_args);
 BENCHMARK_TEMPLATE(bm_batch_place, RedundantShare)->Args({1000, 2, 4})
     ->UseRealTime();
 
-BENCHMARK_TEMPLATE(bm_construction, RedundantShare)->Args({1000, 4});
-BENCHMARK_TEMPLATE(bm_construction, FastRedundantShare)->Args({1000, 4});
-BENCHMARK_TEMPLATE(bm_construction, PrecomputedRedundantShare)
+// The ratchet's headline pair: exact law through the factory at the
+// ROADMAP reference point n=1000, k=4 (plus the other kinds for context).
+BENCHMARK_CAPTURE(bm_factory_replicated, redundant_share,
+                  PlacementKind::kRedundantShare)
+    ->Args({1000, 4});
+BENCHMARK_CAPTURE(bm_factory_replicated, fast_redundant_share,
+                  PlacementKind::kFastRedundantShare)
+    ->Args({1000, 4});
+BENCHMARK_CAPTURE(bm_factory_replicated, precomputed,
+                  PlacementKind::kPrecomputed)
+    ->Args({1000, 4});
+BENCHMARK_CAPTURE(bm_factory_place_many, redundant_share,
+                  PlacementKind::kRedundantShare)
+    ->Args({1000, 4});
+BENCHMARK_CAPTURE(bm_factory_place_many, fast_redundant_share,
+                  PlacementKind::kFastRedundantShare)
+    ->Args({1000, 4});
+BENCHMARK_CAPTURE(bm_factory_place_many, precomputed,
+                  PlacementKind::kPrecomputed)
     ->Args({1000, 4});
 
-BENCHMARK_MAIN();
+// Construction cost is the price of the O(k) lookups: O(k n) tables for
+// the fast variant vs O(k n^2) alias slots for the precomputed one.  Swept
+// over n so the trade-off of Section 3.3 is visible in one JSON.
+BENCHMARK_TEMPLATE(bm_construction, RedundantShare)
+    ->Args({100, 4})
+    ->Args({1000, 4});
+BENCHMARK_TEMPLATE(bm_construction, FastRedundantShare)
+    ->Args({100, 4})
+    ->Args({1000, 4});
+BENCHMARK_TEMPLATE(bm_construction, PrecomputedRedundantShare)
+    ->Args({100, 4})
+    ->Args({1000, 4});
+
+int main(int argc, char** argv) { return rds::bench::perf_main(argc, argv); }

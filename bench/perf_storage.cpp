@@ -1,9 +1,11 @@
 // Storage-layer microbenchmarks: VirtualDisk write/read throughput across
-// redundancy schemes, codec encode/decode speed, and migration planning.
+// redundancy schemes and placement strategies, codec encode/decode speed,
+// and migration planning.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "bench/perf_main.hpp"
 #include "src/storage/erasure/evenodd.hpp"
 #include "src/storage/virtual_disk.hpp"
 #include "src/util/random.hpp"
@@ -106,6 +108,20 @@ void bm_codec_decode_two_losses(benchmark::State& state) {
   state.SetLabel(scheme->name());
 }
 
+// Same write path under different placement strategies: the placement
+// lookup is a small slice of a mirrored 4 KiB write, so these rows bound
+// how much the O(k) strategy can matter end-to-end at the storage layer.
+void bm_disk_write_strategy(benchmark::State& state, PlacementKind kind) {
+  VirtualDisk disk(pool(), std::make_shared<MirroringScheme>(3), kind);
+  const Bytes data = payload(4096, 7);
+  std::uint64_t block = 0;
+  for (auto _ : state) {
+    disk.write(block++, data);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+
 }  // namespace
 
 BENCHMARK(bm_disk_write)->Arg(0)->Arg(1)->Arg(2);
@@ -113,5 +129,9 @@ BENCHMARK(bm_disk_read)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(bm_disk_degraded_read)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(bm_codec_encode)->Arg(0)->Arg(1)->Arg(2);
 BENCHMARK(bm_codec_decode_two_losses)->Arg(1)->Arg(2);
+BENCHMARK_CAPTURE(bm_disk_write_strategy, redundant_share,
+                  rds::PlacementKind::kRedundantShare);
+BENCHMARK_CAPTURE(bm_disk_write_strategy, precomputed,
+                  rds::PlacementKind::kPrecomputed);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return rds::bench::perf_main(argc, argv); }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# One-command Release-mode perf harness (docs/benchmarks.md):
+#
+#   configure (Release) -> build -> run perf_placement + perf_storage
+#   -> stamp build-type context -> optionally ratchet-check vs baseline.
+#
+# Outputs (stamped, i.e. context reports the code-under-test build type):
+#   BENCH_placement.json  full perf_placement run -- the ratchet baseline
+#   BENCH_batch.json      bm_batch_place rows only (BatchPlacer sweep)
+#   BENCH_storage.json    perf_storage run
+#
+# Debug builds cannot produce these files: the perf binaries refuse
+# machine-readable output without NDEBUG (bench/perf_main.hpp), and
+# `perf_ratchet stamp` refuses runs not marked release.  With --filter the
+# outputs land in the build dir instead of the repo root so a partial run
+# can never overwrite the committed baseline.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-perf"
+OUT_DIR="$ROOT"
+FILTER=""
+CHECK=0
+
+usage() {
+  echo "usage: bench/run_perf.sh [--build-dir DIR] [--out DIR]" >&2
+  echo "                         [--filter REGEX] [--check]" >&2
+  exit 2
+}
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --out) OUT_DIR="$2"; shift 2 ;;
+    --filter) FILTER="$2"; shift 2 ;;
+    --check) CHECK=1; shift ;;
+    *) usage ;;
+  esac
+done
+
+if [ -n "$FILTER" ] && [ "$OUT_DIR" = "$ROOT" ]; then
+  OUT_DIR="$BUILD_DIR"
+  echo "run_perf: --filter set; writing partial results to $OUT_DIR" >&2
+fi
+
+mkdir -p "$OUT_DIR"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" \
+  --target perf_placement perf_storage perf_ratchet -j"$(nproc)"
+
+RATCHET="$BUILD_DIR/tools/perf_ratchet"
+
+run_and_stamp() {
+  local bin="$1" raw="$2" out="$3" filter="$4"
+  local args=("--benchmark_out=$raw" "--benchmark_out_format=json")
+  if [ -n "$filter" ]; then
+    args+=("--benchmark_filter=$filter")
+  fi
+  "$bin" "${args[@]}"
+  "$RATCHET" stamp --in "$raw" --out "$out"
+}
+
+run_and_stamp "$BUILD_DIR/bench/perf_placement" \
+  "$BUILD_DIR/bench/placement_raw.json" \
+  "$OUT_DIR/BENCH_placement.json" "$FILTER"
+run_and_stamp "$BUILD_DIR/bench/perf_placement" \
+  "$BUILD_DIR/bench/batch_raw.json" \
+  "$OUT_DIR/BENCH_batch.json" "bm_batch_place"
+run_and_stamp "$BUILD_DIR/bench/perf_storage" \
+  "$BUILD_DIR/bench/storage_raw.json" \
+  "$OUT_DIR/BENCH_storage.json" "$FILTER"
+
+if [ "$CHECK" = 1 ]; then
+  "$RATCHET" check \
+    --baseline "$ROOT/BENCH_placement.json" \
+    --current "$OUT_DIR/BENCH_placement.json" \
+    --min-speedup "bm_factory_replicated/precomputed/1000/4:bm_factory_replicated/redundant_share/1000/4:10"
+fi
+
+echo "run_perf: done; stamped results in $OUT_DIR"

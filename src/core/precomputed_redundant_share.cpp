@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/metrics/registry.hpp"
 #include "src/util/hash.hpp"
 
 namespace rds {
@@ -26,10 +27,11 @@ PrecomputedRedundantShare::PrecomputedRedundantShare(
         "PrecomputedRedundantShare: too many devices for O(k n^2) tables; "
         "use FastRedundantShare");
   }
-  selector_.resize(k);
+  selector_id_.assign(static_cast<std::size_t>(k) * n, AliasArena::kNoTable);
+  selectors_.reserve_tables(static_cast<std::size_t>(k) * n);
   std::vector<double> pmf;
+  pmf.reserve(n);
   for (unsigned m = 1; m <= k; ++m) {
-    selector_[m - 1].resize(n);
     for (std::size_t s = 0; s + m <= n; ++s) {
       // Conditional law of the next selection position from state (m, s):
       // p(l) = f(m, l) * prod_{j in [s, l)} (1 - f(m, j)), truncated at the
@@ -42,23 +44,50 @@ PrecomputedRedundantShare::PrecomputedRedundantShare(
         if (f >= 1.0) break;
         survive *= 1.0 - f;
       }
-      selector_[m - 1][s] = AliasTable(pmf);
+      selector_id_[(m - 1) * n + s] = selectors_.add(pmf);
     }
+  }
+  metrics::Registry& reg = metrics::Registry::global();
+  const metrics::Labels labels{{"strategy", "precomputed-redundant-share"}};
+  placements_total_ = &reg.counter("rds_placements_total", labels);
+}
+
+void PrecomputedRedundantShare::place_into(std::uint64_t address,
+                                           DeviceId* out) const noexcept {
+  const std::size_t n = tables_.size();
+  const std::uint32_t* const ids = selector_id_.data();
+  const DeviceId* const uids = tables_.uids.data();
+  std::size_t start = 0;
+  for (unsigned m = tables_.k; m >= 1; --m) {
+    const double u = to_unit(hash3(address, kO1Salt, m));
+    const std::size_t i =
+        start + selectors_.sample(ids[(m - 1) * n + start], u);
+    *out++ = uids[i];
+    start = i + 1;
   }
 }
 
 void PrecomputedRedundantShare::place(std::uint64_t address,
                                       std::span<DeviceId> out) const {
   check_out_span(out, tables_.k);
-  std::size_t start = 0;
-  std::size_t pos = 0;
-  for (unsigned m = tables_.k; m >= 1; --m) {
-    const AliasTable& table = selector_[m - 1][start];
-    const double u = to_unit(hash3(address, kO1Salt, m));
-    const std::size_t i = start + table.sample(u);
-    out[pos++] = tables_.uids[i];
-    start = i + 1;
+  place_into(address, out.data());
+  placements_total_->inc();
+}
+
+void PrecomputedRedundantShare::place_many(
+    std::span<const std::uint64_t> addresses, std::span<DeviceId> out) const {
+  const unsigned k = tables_.k;
+  if (out.size() != addresses.size() * k) {
+    throw std::invalid_argument(
+        "ReplicationStrategy::place_many: output size != addresses * k");
   }
+  DeviceId* o = out.data();
+  for (const std::uint64_t address : addresses) {
+    place_into(address, o);
+    o += k;
+  }
+  // One metrics flush per batch, not per placement.
+  placements_total_->inc(addresses.size());
 }
 
 std::string PrecomputedRedundantShare::name() const {
@@ -66,11 +95,7 @@ std::string PrecomputedRedundantShare::name() const {
 }
 
 std::size_t PrecomputedRedundantShare::table_entries() const noexcept {
-  std::size_t total = 0;
-  for (const auto& level : selector_) {
-    for (const AliasTable& t : level) total += t.size();
-  }
-  return total;
+  return selectors_.slot_count();
 }
 
 }  // namespace rds

@@ -9,15 +9,26 @@
 // -function footprint).  The law is identical to RedundantShare's and
 // FastRedundantShare's; use this variant when lookups dominate and the
 // device count is moderate (construction guards n <= 4096).
+//
+// All per-state tables live in one contiguous AliasArena built once at
+// construction -- i.e. once per committed topology when the strategy is
+// made by VirtualDisk::apply_config, which then publishes it through the
+// RCU placement epoch for lock-free readers.  place_many() is the batch
+// fast path: the per-call span check and virtual dispatch are hoisted out
+// of the loop, so BatchPlacer chunks run branch-light alias lookups only.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "src/core/redundant_share.hpp"
-#include "src/util/alias_table.hpp"
+#include "src/util/alias_arena.hpp"
 
 namespace rds {
+
+namespace metrics {
+class Counter;
+}  // namespace metrics
 
 class PrecomputedRedundantShare final : public ReplicationStrategy {
  public:
@@ -27,6 +38,11 @@ class PrecomputedRedundantShare final : public ReplicationStrategy {
 
   void place(std::uint64_t address, std::span<DeviceId> out) const override;
   using ReplicationStrategy::place;
+
+  /// Batch fast path: identical output to looping place(), with the size
+  /// check and dispatch amortized over the whole span.
+  void place_many(std::span<const std::uint64_t> addresses,
+                  std::span<DeviceId> out) const override;
 
   [[nodiscard]] unsigned replication() const override { return tables_.k; }
   [[nodiscard]] std::string name() const override;
@@ -42,11 +58,19 @@ class PrecomputedRedundantShare final : public ReplicationStrategy {
   }
 
  private:
+  /// Shared placement kernel: writes k uids to `out` (unchecked).
+  void place_into(std::uint64_t address, DeviceId* out) const noexcept;
+
   detail::RsTables tables_;
-  // selector_[m-1][s]: alias table over the selection position relative to
-  // s, for states with m copies needed at scan position s.  States with
-  // s > n - m are unreachable and left empty.
-  std::vector<std::vector<AliasTable>> selector_;
+  // State (m copies needed, scan start s) -> arena table over the selection
+  // position relative to s.  selector_id_[(m-1)*n + s]; states with
+  // s > n - m are unreachable and hold AliasArena::kNoTable.
+  AliasArena selectors_;
+  std::vector<std::uint32_t> selector_id_;
+
+  // Registry-owned instrument: placements served (one relaxed increment per
+  // place(), one batched increment per place_many()).
+  metrics::Counter* placements_total_ = nullptr;
 };
 
 }  // namespace rds

@@ -8,6 +8,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <string_view>
 
 #include "src/cluster/cluster_config.hpp"
@@ -16,12 +18,23 @@
 namespace rds {
 
 /// Which placement strategy backs a disk / volume / CLI run.
+/// Values are serialized into checkpoints (one byte); only append.
 enum class PlacementKind {
   kRedundantShare,      ///< the paper's strategy, O(n k) per access
   kFastRedundantShare,  ///< Section 3.3 variant, O(k log n) per access
   kTrivial,             ///< k independent draws (for comparison only)
   kRoundRobin,          ///< static striping baseline
+  kPrecomputed,         ///< Section 3.3 full trade-off, O(k) per access
+                        ///< (per-state alias tables, O(k n^2) memory)
 };
+
+/// Every kind, in declaration order -- the one list consumers (tests, CLI
+/// usage text, error messages) iterate so a new kind cannot be forgotten.
+[[nodiscard]] std::span<const PlacementKind> all_placement_kinds() noexcept;
+
+/// Comma-separated list of every accepted spelling, canonical names first
+/// ("redundant-share (rs), ..."), for usage text and unknown-name errors.
+[[nodiscard]] std::string placement_kind_names();
 
 /// Constructs the strategy for `kind` over a cluster snapshot with
 /// replication degree k.  Throws std::invalid_argument for parameters the
@@ -34,8 +47,9 @@ enum class PlacementKind {
 [[nodiscard]] std::string_view to_string(PlacementKind kind) noexcept;
 
 /// Parses a kind name: canonical spellings ("redundant-share",
-/// "fast-redundant-share", "trivial", "round-robin") plus the short CLI
-/// aliases ("rs", "fast", "rr").  nullopt for anything else.
+/// "fast-redundant-share", "trivial", "round-robin", "precomputed") plus
+/// the short CLI aliases ("rs", "fast", "rr", "pre").  nullopt for
+/// anything else; placement_kind_names() lists every accepted spelling.
 [[nodiscard]] std::optional<PlacementKind> parse_placement_kind(
     std::string_view name) noexcept;
 

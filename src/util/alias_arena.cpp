@@ -1,0 +1,59 @@
+#include "src/util/alias_arena.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rds {
+
+AliasArena::TableId AliasArena::add(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasArena: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasArena: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasArena: zero total");
+  if (offset_.size() >= kNoTable ||
+      slots_.size() + n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("AliasArena: arena full");
+  }
+
+  const auto off = static_cast<std::uint32_t>(slots_.size());
+  slots_.resize(slots_.size() + n);
+  Slot* const table = slots_.data() + off;
+
+  // Vose's stable formulation, identical to AliasTable: scale to mean 1,
+  // pair under-full slots with over-full ones.
+  scaled_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled_[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  small_.clear();
+  large_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled_[i] < 1.0 ? small_ : large_)
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small_.empty() && !large_.empty()) {
+    const std::uint32_t s = small_.back();
+    small_.pop_back();
+    const std::uint32_t l = large_.back();
+    table[s].prob = scaled_[s];
+    table[s].alias = l;
+    scaled_[l] -= 1.0 - scaled_[s];
+    if (scaled_[l] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
+    }
+  }
+  // Leftovers are exactly full (up to rounding): threshold 1.
+  for (const std::uint32_t i : small_) table[i] = {1.0, i};
+  for (const std::uint32_t i : large_) table[i] = {1.0, i};
+
+  offset_.push_back(off);
+  len_.push_back(static_cast<std::uint32_t>(n));
+  return static_cast<TableId>(offset_.size() - 1);
+}
+
+}  // namespace rds

@@ -1,0 +1,86 @@
+// A pool of Walker/Vose alias tables packed into one contiguous arena.
+//
+// AliasTable (src/util/alias_table.hpp) owns two heap vectors per table;
+// a PrecomputedRedundantShare at n devices materializes O(k * n) tables,
+// which as individual AliasTables means thousands of small allocations and
+// pointer-chasing in the placement hot loop.  AliasArena stores every
+// table's slots back to back in a single buffer (cf. the pool-based
+// allocators in the virtual-volume exemplar): construction is one growing
+// vector, sampling is two contiguous loads, and the whole structure is
+// published atomically with the strategy through the RCU placement epoch.
+//
+// Sampling is bit-identical to AliasTable::sample for the same weights:
+// the Vose construction below is the same algorithm, so existing
+// distributional tests transfer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rds {
+
+class AliasArena {
+ public:
+  using TableId = std::uint32_t;
+
+  /// Sentinel for "no table here" grids kept by callers.
+  static constexpr TableId kNoTable = UINT32_MAX;
+
+  AliasArena() = default;
+
+  /// Pre-sizes the slot buffer (optional; add() grows it as needed).
+  void reserve_slots(std::size_t slots) { slots_.reserve(slots); }
+  void reserve_tables(std::size_t tables) {
+    offset_.reserve(tables);
+    len_.reserve(tables);
+  }
+
+  /// Appends a table over non-negative weights (need not be normalized;
+  /// total must be positive -- same contract as AliasTable) and returns its
+  /// id.  Ids are dense and sequential from 0.  Throws std::invalid_argument
+  /// on an empty span, a negative weight, or a non-positive total.
+  TableId add(std::span<const double> weights);
+
+  /// Index in [0, size(table)) sampled according to the table's weights,
+  /// driven by one uniform value in [0, 1).  O(1).
+  [[nodiscard]] std::size_t sample(TableId table, double u) const noexcept {
+    const std::uint32_t off = offset_[table];
+    const std::uint32_t n = len_[table];
+    const double scaled = u * static_cast<double>(n);
+    auto slot = static_cast<std::uint32_t>(scaled);
+    if (slot >= n) slot = n - 1;  // u ~ 1 - eps guard
+    const double coin = scaled - static_cast<double>(slot);
+    const Slot& s = slots_[off + slot];
+    return coin < s.prob ? slot : s.alias;
+  }
+
+  [[nodiscard]] std::size_t table_count() const noexcept {
+    return offset_.size();
+  }
+  [[nodiscard]] std::size_t table_size(TableId table) const noexcept {
+    return len_[table];
+  }
+  /// Total slots across all tables (the memory footprint, for reports).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  struct Slot {
+    double prob = 1.0;          ///< acceptance threshold
+    std::uint32_t alias = 0;    ///< fallback index, within the same table
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> offset_;  ///< first slot of each table
+  std::vector<std::uint32_t> len_;     ///< slot count of each table
+
+  // Construction scratch, reused across add() calls so building k*n tables
+  // costs three allocations total instead of three per table.
+  std::vector<double> scaled_;
+  std::vector<std::uint32_t> small_;
+  std::vector<std::uint32_t> large_;
+};
+
+}  // namespace rds

@@ -1,0 +1,96 @@
+#include "src/util/alias_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/alias_table.hpp"
+#include "src/util/random.hpp"
+
+namespace rds {
+namespace {
+
+TEST(AliasArena, SamplesBitIdenticallyToAliasTable) {
+  // The arena advertises the same Vose construction as AliasTable; the two
+  // must agree sample-for-sample for the same weights and uniforms, so the
+  // distributional guarantees proven for AliasTable transfer wholesale.
+  const std::vector<std::vector<double>> tables = {
+      {1.0},
+      {1.0, 1.0, 1.0, 1.0},
+      {9.0, 7.0, 5.0, 3.0, 2.0, 1.0},
+      {0.0, 1.0, 0.0, 2.0},
+      {1e-9, 1.0, 1e9},
+  };
+  AliasArena arena;
+  std::vector<AliasTable> singles;
+  std::vector<AliasArena::TableId> ids;
+  for (const auto& weights : tables) {
+    ids.push_back(arena.add(weights));
+    singles.emplace_back(weights);
+  }
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double u =
+        static_cast<double>(rng() >> 11) * 0x1.0p-53;  // uniform in [0,1)
+    const std::size_t t = rng.next_below(tables.size());
+    EXPECT_EQ(arena.sample(ids[t], u), singles[t].sample(u))
+        << "table " << t << " u=" << u;
+  }
+}
+
+TEST(AliasArena, TablesAreIndependent) {
+  AliasArena arena;
+  const auto a = arena.add(std::vector<double>{1.0, 0.0});
+  const auto b = arena.add(std::vector<double>{0.0, 1.0, 0.0});
+  EXPECT_EQ(arena.table_size(a), 2u);
+  EXPECT_EQ(arena.table_size(b), 3u);
+  EXPECT_EQ(arena.table_count(), 2u);
+  EXPECT_EQ(arena.slot_count(), 5u);
+  for (double u = 0.0; u < 1.0; u += 0.0625) {
+    EXPECT_EQ(arena.sample(a, u), 0u);
+    EXPECT_EQ(arena.sample(b, u), 1u);
+  }
+}
+
+TEST(AliasArena, GuardsDegenerateEdgeUniform) {
+  // u arbitrarily close to 1 must not index past the last slot.
+  AliasArena arena;
+  const auto id = arena.add(std::vector<double>{3.0, 2.0, 1.0});
+  const std::size_t s = arena.sample(id, 0x1.fffffffffffffp-1);
+  EXPECT_LT(s, 3u);
+}
+
+TEST(AliasArena, RejectsInvalidWeights) {
+  AliasArena arena;
+  EXPECT_THROW(arena.add(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(arena.add(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(arena.add(std::vector<double>{1.0, -0.5}),
+               std::invalid_argument);
+  // Failed adds must not leak a partial table into the arena.
+  EXPECT_EQ(arena.table_count(), 0u);
+  EXPECT_EQ(arena.slot_count(), 0u);
+}
+
+TEST(AliasArena, PreservesDistribution) {
+  AliasArena arena;
+  const std::vector<double> weights = {5.0, 3.0, 2.0};
+  const auto id = arena.add(weights);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  Xoshiro256 rng(7);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    ++counts[arena.sample(id, u)];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = kTrials * weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 5.0 * 0.05 * expected)
+        << "bin " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rds

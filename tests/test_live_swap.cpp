@@ -117,6 +117,56 @@ TEST(Concurrency, ReadersSeeConsistentSnapshotsDuringSwaps) {
   EXPECT_GE(disk.placement_snapshot()->epoch, 1u + kSwaps);
 }
 
+// Strategy-kind swap to/from the precomputed O(k) path: the alias tables
+// are rebuilt by the constructor inside try_set_strategy and published
+// through the same RCU epoch, so readers must stay consistent while the
+// heavyweight table build and the swap race past them in both directions.
+TEST(Concurrency, ReadersSurviveSwapsToAndFromPrecomputed) {
+  VirtualDisk disk = make_disk(big_pool());
+
+  constexpr int kReaders = 3;
+  constexpr int kSwaps = 30;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&disk, &stop, &failures, r] {
+      std::uint64_t address = static_cast<std::uint64_t>(r) << 32;
+      std::uint64_t last_epoch = 0;
+      std::vector<DeviceId> copies;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = disk.placement_snapshot();
+        const unsigned k = snap->strategy->replication();
+        copies.assign(k, kNoDevice);
+        snap->strategy->place(address++, copies);
+        for (unsigned i = 0; i < k; ++i) {
+          if (!snap->config.contains(copies[i])) failures.fetch_add(1);
+          for (unsigned j = i + 1; j < k; ++j) {
+            if (copies[i] == copies[j]) failures.fetch_add(1);
+          }
+        }
+        if (snap->epoch < last_epoch) failures.fetch_add(1);
+        last_epoch = snap->epoch;
+      }
+    });
+  }
+
+  const PlacementKind kinds[3] = {PlacementKind::kPrecomputed,
+                                  PlacementKind::kFastRedundantShare,
+                                  PlacementKind::kRedundantShare};
+  for (int s = 0; s < kSwaps; ++s) {
+    const Result<void> r = disk.try_set_strategy(kinds[s % 3]);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(disk.placement_kind(), kinds[(kSwaps - 1) % 3]);
+}
+
 // Same race through the convenience API: place() grabs its own snapshot.
 TEST(Concurrency, PlaceIsLockFreeAgainstTopologyChanges) {
   VirtualDisk disk = make_disk(small_pool());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "src/sim/block_map.hpp"
@@ -109,6 +110,34 @@ TEST(PrecomputedRS, MatchesChainLawStatistically) {
               2.0 * chi_square_critical_999(config.size() - 1))
         << "copy " << copy;
   }
+}
+
+TEST(PrecomputedRS, PlaceManyMatchesSequentialPlace) {
+  // The branch-light batch kernel (used by BatchPlacer chunks) must be
+  // bit-identical to the per-address path, including across the 4k chunk
+  // boundary.
+  const ClusterConfig config = cluster_from({9, 7, 5, 3, 2, 1});
+  const PrecomputedRedundantShare s(config, 3);
+  constexpr std::size_t kBatch = 4097;
+  std::vector<std::uint64_t> addresses(kBatch);
+  std::iota(addresses.begin(), addresses.end(), std::uint64_t{0});
+  for (auto& a : addresses) a = a * 2654435761u + 17;
+  std::vector<DeviceId> batch(kBatch * 3);
+  s.place_many(addresses, batch);
+  std::vector<DeviceId> one(3);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    s.place(addresses[i], one);
+    const std::vector<DeviceId> row(batch.begin() + i * 3,
+                                    batch.begin() + (i + 1) * 3);
+    ASSERT_EQ(row, one) << "address index " << i;
+  }
+}
+
+TEST(PrecomputedRS, PlaceManyRejectsMismatchedSpan) {
+  const PrecomputedRedundantShare s(cluster_from({9, 7, 5, 3}), 2);
+  const std::vector<std::uint64_t> addresses(8);
+  std::vector<DeviceId> wrong(8 * 2 - 1);
+  EXPECT_THROW(s.place_many(addresses, wrong), std::invalid_argument);
 }
 
 TEST(PrecomputedRS, Validation) {

@@ -5,8 +5,11 @@
 // construction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "src/core/precomputed_redundant_share.hpp"
 #include "src/core/redundant_share.hpp"
 #include "src/placement/strategy_factory.hpp"
 
@@ -23,6 +26,7 @@ constexpr PlacementKind kAllKinds[] = {
     PlacementKind::kFastRedundantShare,
     PlacementKind::kTrivial,
     PlacementKind::kRoundRobin,
+    PlacementKind::kPrecomputed,
 };
 
 TEST(StrategyFactory, ConstructsEveryKind) {
@@ -60,10 +64,53 @@ TEST(StrategyFactory, RejectsBadParameters) {
   }
 }
 
+TEST(StrategyFactory, PrecomputedProductMatchesDirectConstruction) {
+  const ClusterConfig config = make_cluster();
+  const PrecomputedRedundantShare direct(config, 3);
+  const auto made =
+      make_replication_strategy(PlacementKind::kPrecomputed, config, 3);
+  for (std::uint64_t address = 0; address < 1000; ++address) {
+    EXPECT_EQ(made->place(address), direct.place(address)) << address;
+  }
+}
+
 TEST(StrategyFactory, RejectsOutOfRangeKind) {
   EXPECT_THROW(make_replication_strategy(static_cast<PlacementKind>(99),
                                          make_cluster(), 2),
                std::logic_error);
+}
+
+TEST(StrategyFactory, UnknownKindErrorEnumeratesValidNames) {
+  // Operators hit this through rds_cli --strategy; the message must list
+  // every kind so a typo is self-diagnosing.
+  try {
+    make_replication_strategy(static_cast<PlacementKind>(99), make_cluster(),
+                              2);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string message = e.what();
+    for (const PlacementKind kind : kAllKinds) {
+      EXPECT_NE(message.find(to_string(kind)), std::string::npos)
+          << "missing `" << to_string(kind) << "` in: " << message;
+    }
+  }
+}
+
+TEST(StrategyFactory, AllPlacementKindsCoversEveryKind) {
+  const auto kinds = all_placement_kinds();
+  EXPECT_EQ(kinds.size(), std::size(kAllKinds));
+  for (const PlacementKind kind : kAllKinds) {
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), kind), kinds.end())
+        << to_string(kind);
+  }
+}
+
+TEST(StrategyFactory, PlacementKindNamesListsEveryCanonicalName) {
+  const std::string names = placement_kind_names();
+  for (const PlacementKind kind : kAllKinds) {
+    EXPECT_NE(names.find(to_string(kind)), std::string::npos)
+        << "missing `" << to_string(kind) << "` in: " << names;
+  }
 }
 
 TEST(StrategyFactory, NamesRoundTrip) {
@@ -80,6 +127,9 @@ TEST(StrategyFactory, ParsesShortAliases) {
             PlacementKind::kFastRedundantShare);
   EXPECT_EQ(parse_placement_kind("rr"), PlacementKind::kRoundRobin);
   EXPECT_EQ(parse_placement_kind("trivial"), PlacementKind::kTrivial);
+  EXPECT_EQ(parse_placement_kind("pre"), PlacementKind::kPrecomputed);
+  EXPECT_EQ(parse_placement_kind("precomputed"),
+            PlacementKind::kPrecomputed);
   EXPECT_FALSE(parse_placement_kind("bogus").has_value());
   EXPECT_FALSE(parse_placement_kind("").has_value());
 }

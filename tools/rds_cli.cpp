@@ -101,9 +101,9 @@ using namespace rds;
       << "  --script FILE     operation trace for `simulate`\n"
       << "  --scheme S        redundancy for `simulate`: mirror:K, rs:D+P,\n"
       << "                    evenodd:P, rdp:P (default mirror:2)\n"
-      << "  --strategy S      placement strategy: redundant-share (rs),\n"
-      << "                    fast-redundant-share (fast), trivial,\n"
-      << "                    round-robin (rr); default redundant-share\n"
+      << "  --strategy S      placement strategy: " << placement_kind_names()
+      << ";\n"
+      << "                    default redundant-share\n"
       << "  --threads N       worker threads for place/fairness/stats\n"
       << "                    (default 1; 0 = all hardware threads)\n"
       << "  --out F           checkpoint output file for `snapshot`\n"
@@ -266,7 +266,10 @@ Args parse(int argc, char** argv) {
   if (const std::string v = get("--journal"); !v.empty()) args.journal = v;
   if (const std::string v = get("--strategy"); !v.empty()) {
     const std::optional<PlacementKind> kind = parse_placement_kind(v);
-    if (!kind) usage("unknown --strategy: " + v);
+    if (!kind) {
+      usage("unknown --strategy: " + v +
+            " (valid: " + placement_kind_names() + ")");
+    }
     args.strategy = *kind;
   }
   if (const std::string v = get("--threads"); !v.empty()) {
