@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # One-command Release-mode perf harness (docs/benchmarks.md):
 #
-#   configure (Release) -> build -> run perf_placement + perf_storage
-#   -> stamp build-type context -> optionally ratchet-check vs baseline.
+#   configure (Release) -> build -> run perf_placement + perf_storage +
+#   perf_latency -> stamp build-type context -> optionally ratchet-check
+#   vs baseline.
 #
 # Outputs (stamped, i.e. context reports the code-under-test build type):
 #   BENCH_placement.json  full perf_placement run -- the ratchet baseline
 #   BENCH_batch.json      bm_batch_place rows only (BatchPlacer sweep)
 #   BENCH_storage.json    perf_storage run
+#   BENCH_latency.json    perf_latency SLO run (p99 policy-ordering rule)
 #
 # Debug builds cannot produce these files: the perf binaries refuse
 # machine-readable output without NDEBUG (bench/perf_main.hpp), and
@@ -47,7 +49,8 @@ mkdir -p "$OUT_DIR"
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" \
-  --target perf_placement perf_storage perf_ratchet -j"$(nproc)"
+  --target perf_placement perf_storage perf_latency perf_ratchet \
+  -j"$(nproc)"
 
 RATCHET="$BUILD_DIR/tools/perf_ratchet"
 
@@ -70,12 +73,21 @@ run_and_stamp "$BUILD_DIR/bench/perf_placement" \
 run_and_stamp "$BUILD_DIR/bench/perf_storage" \
   "$BUILD_DIR/bench/storage_raw.json" \
   "$OUT_DIR/BENCH_storage.json" "$FILTER"
+run_and_stamp "$BUILD_DIR/bench/perf_latency" \
+  "$BUILD_DIR/bench/latency_raw.json" \
+  "$OUT_DIR/BENCH_latency.json" "$FILTER"
 
 if [ "$CHECK" = 1 ]; then
   "$RATCHET" check \
     --baseline "$ROOT/BENCH_placement.json" \
     --current "$OUT_DIR/BENCH_placement.json" \
     --min-speedup "bm_factory_replicated/precomputed/1000/4:bm_factory_replicated/redundant_share/1000/4:10"
+  # The SLO rule is machine-independent (seeded queueing-model outputs),
+  # so it is strict: power-of-two must beat random at p99 under Zipf-0.9.
+  "$RATCHET" check \
+    --baseline "$ROOT/BENCH_latency.json" \
+    --current "$OUT_DIR/BENCH_latency.json" \
+    --max-p99-ratio "bm_loadsim/zipf09/power-of-two:bm_loadsim/zipf09/random:1.0"
 fi
 
 echo "run_perf: done; stamped results in $OUT_DIR"

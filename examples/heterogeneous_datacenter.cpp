@@ -6,16 +6,40 @@
 // three device generations and replays a skewed (Zipf) read workload,
 // showing that per-device request load tracks capacity share -- including
 // for the hottest blocks, because placement is hash-random rather than
-// correlated with block popularity.
+// correlated with block popularity.  Replica locations come from
+// VirtualDisk::copy_locations (one epoch-consistent read per block) and the
+// serving copy is picked by a ReplicaSelector from the factory, the same
+// read path rds_cli loadsim exercises.
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <map>
 #include <vector>
 
-#include "src/core/redundant_share.hpp"
 #include "src/sim/block_map.hpp"
+#include "src/sim/replica_selector.hpp"
 #include "src/sim/workload.hpp"
+#include "src/storage/redundancy_scheme.hpp"
+#include "src/storage/virtual_disk.hpp"
+
+namespace {
+
+/// The example replays against a bare placement (no queueing), so the
+/// selector sees idle devices of equal speed.
+class IdleQueues final : public rds::QueueView {
+ public:
+  explicit IdleQueues(std::size_t devices) : devices_(devices) {}
+  [[nodiscard]] double backlog_us(std::size_t) const override { return 0.0; }
+  [[nodiscard]] double mean_service_us(std::size_t) const override {
+    return 1.0;
+  }
+  [[nodiscard]] std::size_t device_count() const override { return devices_; }
+
+ private:
+  std::size_t devices_;
+};
+
+}  // namespace
 
 int main() {
   using namespace rds;
@@ -29,21 +53,33 @@ int main() {
   const ClusterConfig pool(std::move(devices));
 
   constexpr unsigned kK = 3;
-  const RedundantShare strategy(pool, kK);
+  VirtualDisk disk(pool, std::make_shared<MirroringScheme>(kK));
+  const auto epoch = disk.placement_snapshot();
 
+  // Storage share: materialize the same placement the disk serves from.
   constexpr std::uint64_t kBlocks = 100'000;
-  const BlockMap map(strategy, kBlocks);
+  const BlockMap map(*epoch->strategy, kBlocks);
 
-  // Zipf-skewed reads: block 0 is the hottest.  A read hits one replica,
-  // chosen round-robin over the k copies (load spreading).
+  std::map<DeviceId, std::size_t> index_of;
+  for (std::size_t i = 0; i < pool.size(); ++i) index_of[pool[i].uid] = i;
+
+  // Zipf-skewed reads: block 0 is the hottest.  Each read resolves its k
+  // copy locations through the disk's lock-free epoch API and a round-robin
+  // selector spreads the hits over them.
   constexpr std::uint64_t kRequests = 2'000'000;
-  const ZipfGenerator zipf(kBlocks, 0.99);
+  const auto workload = make_workload("zipf:0.99", kBlocks);
+  const auto selector = make_replica_selector("round-robin");
+  const IdleQueues queues(pool.size());
   Xoshiro256 rng(2026);
+  std::vector<DeviceId> copies(kK);
+  std::vector<std::size_t> replicas(kK);
   std::map<DeviceId, std::uint64_t> request_load;
   for (std::uint64_t r = 0; r < kRequests; ++r) {
-    const std::uint64_t block = zipf.sample(rng);
-    const auto copies = map.copies(block);
-    request_load[copies[r % kK]] += 1;
+    const std::uint64_t block = workload->sample(rng, /*now_us=*/0.0);
+    disk.try_copy_locations(block, copies).value_or_throw();
+    for (unsigned c = 0; c < kK; ++c) replicas[c] = index_of.at(copies[c]);
+    const std::size_t chosen = selector->select(replicas, queues, rng);
+    request_load[copies[chosen]] += 1;
   }
 
   std::cout << std::fixed << std::setprecision(2);

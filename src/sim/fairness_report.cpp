@@ -9,8 +9,21 @@
 #include "src/core/fast_redundant_share.hpp"
 #include "src/core/precomputed_redundant_share.hpp"
 #include "src/core/redundant_share.hpp"
+#include "src/storage/virtual_disk.hpp"
 
 namespace rds {
+
+FairnessReport fairness_report(const VirtualDisk& disk,
+                               std::uint64_t ball_count) {
+  // One epoch read pins strategy and config together; everything below is
+  // derived from that pair, never from the live (swappable) disk state.
+  const std::shared_ptr<const PlacementEpoch> epoch =
+      disk.placement_snapshot();
+  const BlockMap map(*epoch->strategy, ball_count);
+  return fairness_report(epoch->config,
+                         usable_capacities(*epoch->strategy, epoch->config),
+                         map);
+}
 
 std::vector<double> usable_capacities(const ReplicationStrategy& strategy,
                                       const ClusterConfig& config) {

@@ -13,6 +13,8 @@
 
 namespace rds {
 
+class VirtualDisk;
+
 struct DeviceUsage {
   DeviceId uid = kNoDevice;
   std::uint64_t capacity = 0;
@@ -39,6 +41,15 @@ struct FairnessReport {
 [[nodiscard]] FairnessReport fairness_report(const ClusterConfig& config,
                                              std::span<const double> adjusted,
                                              const BlockMap& map);
+
+/// Live-disk form: one placement_snapshot() pins an epoch-consistent
+/// (strategy, config) pair, the placement of balls 0..ball_count-1 is
+/// materialized from it, and the usable capacities come from the same
+/// strategy -- so the report is self-consistent even while a topology
+/// change commits concurrently.  Replaces the old pattern of per-copy
+/// place() loops against a disk whose strategy might swap mid-loop.
+[[nodiscard]] FairnessReport fairness_report(const VirtualDisk& disk,
+                                             std::uint64_t ball_count);
 
 /// The usable capacities b'_i of `strategy` over `config`, canonical order.
 /// Strategies that adjust device weights (Redundant Share's b-tilde,

@@ -1,0 +1,118 @@
+// Request-service simulation: FCFS queueing at every device, with a
+// pluggable replica-selection policy.
+//
+// The paper's fairness notion covers requests as well as data ("every
+// storage device with x% of the available capacity gets x% of the data and
+// the requests").  This simulator replays an open-loop request trace
+// against a placement and measures what that fairness buys under a chosen
+// read policy: per-device utilization and the response-time SLO quantiles
+// (p50/p99/p999).  Each device is an FCFS server with a service-time
+// distribution over its speed; which of a ball's k copies serves a request
+// is the ReplicaSelector's call (src/sim/replica_selector.hpp), fed by the
+// live queue state through QueueView.
+//
+// Traces come from a WorkloadGenerator (src/sim/workload.hpp): Poisson
+// arrivals thinned against the generator's time-varying rate factor (Lewis
+// & Shedler), ball popularity from the generator's distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cluster/cluster_config.hpp"
+#include "src/sim/block_map.hpp"
+#include "src/sim/replica_selector.hpp"
+#include "src/sim/workload.hpp"
+#include "src/util/random.hpp"
+
+namespace rds {
+
+class VirtualDisk;
+
+/// Service-time model of one device.
+struct ServiceModel {
+  /// Distribution of the per-request service time around its mean.
+  enum class Shape {
+    kDeterministic,  ///< exactly mean_us() every time
+    kExponential,    ///< memoryless (M/M/1-style tails)
+    kLognormal,      ///< heavy-ish tail, `sigma` shape parameter
+  };
+
+  double seek_us = 100.0;      ///< fixed per-request overhead
+  double us_per_block = 10.0;  ///< transfer time per request (one block)
+  Shape shape = Shape::kDeterministic;
+  double sigma = 0.25;  ///< lognormal shape (ignored by the other shapes)
+
+  /// Mean service time; the speed signal selectors see via QueueView.
+  [[nodiscard]] double mean_us() const noexcept {
+    return seek_us + us_per_block;
+  }
+
+  /// One service-time draw (mean mean_us() for every shape).
+  [[nodiscard]] double sample_us(Xoshiro256& rng) const;
+};
+
+/// One read request in the trace.
+struct Request {
+  double arrival_us = 0.0;
+  std::uint64_t ball = 0;
+};
+
+struct DeviceLoad {
+  DeviceId uid = kNoDevice;
+  std::uint64_t requests = 0;
+  double busy_us = 0.0;
+  double utilization = 0.0;  ///< busy / makespan
+};
+
+/// What one simulation run measured.
+struct LoadResult {
+  double makespan_us = 0.0;
+  double mean_response_us = 0.0;
+  double p50_response_us = 0.0;
+  double p99_response_us = 0.0;
+  double p999_response_us = 0.0;
+  double max_response_us = 0.0;
+  std::vector<DeviceLoad> devices;  ///< canonical order of `config`
+
+  /// Utilization of the most loaded device -- the saturation signal an SLO
+  /// sweep watches (a policy that keeps this low sustains more load).
+  [[nodiscard]] double max_utilization() const;
+};
+
+/// Generates `count` arrivals from `workload`: a Poisson process at base
+/// rate `rate_per_us`, modulated by workload.rate_factor() via thinning
+/// (candidates at rate_per_us * max_rate_factor(), kept with probability
+/// rate_factor/max), balls from workload.sample() at the accepted times.
+/// Arrivals are strictly ordered.  Throws std::invalid_argument for a
+/// non-positive or non-finite rate.
+[[nodiscard]] std::vector<Request> make_trace(
+    const WorkloadGenerator& workload, std::uint64_t count,
+    double rate_per_us, Xoshiro256& rng);
+
+/// Replays `trace` (must be sorted by arrival time) against the
+/// materialized placement in `map`; `selector` picks the serving copy per
+/// request.  `models` maps canonical device index -> service model; pass
+/// one entry to use it for every device.  `rng` drives service-time draws
+/// and any randomness inside the selector.
+[[nodiscard]] LoadResult simulate_load(const ClusterConfig& config,
+                                       const BlockMap& map,
+                                       std::span<const Request> trace,
+                                       std::span<const ServiceModel> models,
+                                       ReplicaSelector& selector,
+                                       Xoshiro256& rng);
+
+/// Live-disk form: replica locations come from
+/// VirtualDisk::try_copy_locations per request (one epoch read each), so
+/// the run exercises the same lock-free API a real read path uses.  The
+/// device table is fixed at entry from placement_snapshot(); requests whose
+/// replicas fall outside it (a concurrent topology change) are counted via
+/// rds_loadsim_requests_dropped_total and skipped.
+[[nodiscard]] LoadResult simulate_load(const VirtualDisk& disk,
+                                       std::span<const Request> trace,
+                                       std::span<const ServiceModel> models,
+                                       ReplicaSelector& selector,
+                                       Xoshiro256& rng);
+
+}  // namespace rds

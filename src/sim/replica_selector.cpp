@@ -1,0 +1,154 @@
+#include "src/sim/replica_selector.hpp"
+
+#include <algorithm>
+
+namespace rds {
+
+std::size_t RoundRobinSelector::select(std::span<const std::size_t> replicas,
+                                       const QueueView& /*queues*/,
+                                       Xoshiro256& /*rng*/) {
+  return cursor_++ % replicas.size();
+}
+
+std::size_t RandomSelector::select(std::span<const std::size_t> replicas,
+                                   const QueueView& /*queues*/,
+                                   Xoshiro256& rng) {
+  return static_cast<std::size_t>(rng.next_below(replicas.size()));
+}
+
+std::size_t LeastLoadedSelector::select(std::span<const std::size_t> replicas,
+                                        const QueueView& queues,
+                                        Xoshiro256& /*rng*/) {
+  std::size_t best = 0;
+  double best_backlog = queues.backlog_us(replicas[0]);
+  for (std::size_t c = 1; c < replicas.size(); ++c) {
+    const double backlog = queues.backlog_us(replicas[c]);
+    if (backlog < best_backlog) {
+      best_backlog = backlog;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::size_t PowerOfTwoSelector::select(std::span<const std::size_t> replicas,
+                                       const QueueView& queues,
+                                       Xoshiro256& rng) {
+  const std::size_t k = replicas.size();
+  if (k == 1) return 0;
+  const std::size_t a = static_cast<std::size_t>(rng.next_below(k));
+  // Second probe distinct from the first: draw from the other k-1 slots.
+  std::size_t b = static_cast<std::size_t>(rng.next_below(k - 1));
+  if (b >= a) ++b;
+  return queues.backlog_us(replicas[b]) < queues.backlog_us(replicas[a]) ? b
+                                                                         : a;
+}
+
+std::size_t WaterFillingSelector::select(std::span<const std::size_t> replicas,
+                                         const QueueView& queues,
+                                         Xoshiro256& /*rng*/) {
+  if (assigned_us_.size() < queues.device_count()) {
+    assigned_us_.resize(queues.device_count(), 0.0);
+  }
+  std::size_t best = 0;
+  double best_level = assigned_us_[replicas[0]] +
+                      queues.mean_service_us(replicas[0]);
+  for (std::size_t c = 1; c < replicas.size(); ++c) {
+    const double level =
+        assigned_us_[replicas[c]] + queues.mean_service_us(replicas[c]);
+    if (level < best_level) {
+      best_level = level;
+      best = c;
+    }
+  }
+  assigned_us_[replicas[best]] += queues.mean_service_us(replicas[best]);
+  return best;
+}
+
+// ---------- The selector factory ----------
+
+namespace {
+
+/// Accepted spellings per kind (canonical first).
+struct SelectorNames {
+  SelectorKind kind;
+  std::string_view canonical;
+  std::string_view alias;  // empty when the kind has no short form
+};
+
+constexpr SelectorKind kAllSelectorKinds[] = {
+    SelectorKind::kRoundRobin,  SelectorKind::kRandom,
+    SelectorKind::kLeastLoaded, SelectorKind::kPowerOfTwo,
+    SelectorKind::kWaterFilling,
+};
+
+constexpr SelectorNames kSelectorNames[] = {
+    {SelectorKind::kRoundRobin, "round-robin", "rr"},
+    {SelectorKind::kRandom, "random", ""},
+    {SelectorKind::kLeastLoaded, "least-loaded", "ll"},
+    {SelectorKind::kPowerOfTwo, "power-of-two", "p2c"},
+    {SelectorKind::kWaterFilling, "water-filling", "wf"},
+};
+
+}  // namespace
+
+std::span<const SelectorKind> all_selector_kinds() noexcept {
+  return kAllSelectorKinds;
+}
+
+std::string replica_selector_names() {
+  std::string out;
+  for (const SelectorNames& entry : kSelectorNames) {
+    if (!out.empty()) out += ", ";
+    out += entry.canonical;
+    if (!entry.alias.empty()) {
+      out += " (";
+      out += entry.alias;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+std::string_view to_string(SelectorKind kind) noexcept {
+  for (const SelectorNames& entry : kSelectorNames) {
+    if (entry.kind == kind) return entry.canonical;
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplicaSelector> make_replica_selector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRoundRobin:
+      return std::make_unique<RoundRobinSelector>();
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomSelector>();
+    case SelectorKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedSelector>();
+    case SelectorKind::kPowerOfTwo:
+      return std::make_unique<PowerOfTwoSelector>();
+    case SelectorKind::kWaterFilling:
+      return std::make_unique<WaterFillingSelector>();
+  }
+  return std::make_unique<RandomSelector>();  // unreachable
+}
+
+Result<std::unique_ptr<ReplicaSelector>> try_make_replica_selector(
+    std::string_view name) {
+  for (const SelectorNames& entry : kSelectorNames) {
+    if (name == entry.canonical ||
+        (!entry.alias.empty() && name == entry.alias)) {
+      return {make_replica_selector(entry.kind)};
+    }
+  }
+  return {ErrorCode::kInvalidArgument,
+          "make_replica_selector: unknown policy '" + std::string(name) +
+              "'; valid: " + replica_selector_names()};
+}
+
+std::unique_ptr<ReplicaSelector> make_replica_selector(
+    std::string_view name) {
+  return try_make_replica_selector(name).value_or_throw();
+}
+
+}  // namespace rds

@@ -113,6 +113,34 @@ std::uint64_t VirtualDisk::place(std::uint64_t block,
   return epoch->epoch;
 }
 
+VirtualDisk::CopyLocations VirtualDisk::copy_locations(
+    std::uint64_t block) const {
+  // rds_lint: allow(atomic-memory-order) -- see placement_snapshot().
+  const std::shared_ptr<const PlacementEpoch> epoch = published_.load();
+  CopyLocations out;
+  out.epoch = epoch->epoch;
+  out.devices.resize(epoch->strategy->replication());
+  epoch->strategy->place(block, out.devices);
+  return out;
+}
+
+Result<std::uint64_t> VirtualDisk::try_copy_locations(
+    std::uint64_t block, std::span<DeviceId> out) const {
+  // rds_lint: allow(atomic-memory-order) -- see placement_snapshot().
+  const std::shared_ptr<const PlacementEpoch> epoch = published_.load();
+  const unsigned k = epoch->strategy->replication();
+  if (out.size() != k) {
+    return {ErrorCode::kInvalidArgument,
+            "VirtualDisk::try_copy_locations: output span holds " +
+                std::to_string(out.size()) + " slots but epoch " +
+                std::to_string(epoch->epoch) + " places " +
+                std::to_string(k) + " copies (re-size from the same "
+                "placement_snapshot, or retry)"};
+  }
+  epoch->strategy->place(block, out);
+  return {epoch->epoch};
+}
+
 std::uint64_t VirtualDisk::checksum(
     std::span<const std::uint8_t> payload) noexcept {
   // FNV-1a over the payload, finalized by mix64 (matches util/hash.hpp's

@@ -158,6 +158,28 @@ class VirtualDisk {
   /// and returns the epoch id the placement came from.
   std::uint64_t place(std::uint64_t block, std::span<DeviceId> out) const;
 
+  /// All k replica locations of one block, resolved against ONE epoch read.
+  struct CopyLocations {
+    std::uint64_t epoch = 0;        ///< the epoch the devices came from
+    std::vector<DeviceId> devices;  ///< copies 0..k-1, pairwise distinct
+  };
+
+  /// The k copy locations of `block` -- the read path's view of the paper's
+  /// copy-identification property.  One wait-free epoch load resolves both
+  /// the replication degree and the placement, so the result is internally
+  /// consistent even while a strategy/scheme swap is committing (lock-free,
+  /// like place()).  Allocates the result vector; hot loops use
+  /// try_copy_locations with a reused buffer.
+  [[nodiscard]] CopyLocations copy_locations(std::uint64_t block) const;
+
+  /// Allocation-free form: fills `out` with the k copy locations and
+  /// returns the epoch id they came from.  kInvalidArgument when out.size()
+  /// differs from the epoch's replication degree -- the mismatch a live
+  /// set_scheme swap can produce between sizing the buffer and placing;
+  /// callers re-size and retry (or size from the same placement_snapshot).
+  [[nodiscard]] Result<std::uint64_t> try_copy_locations(
+      std::uint64_t block, std::span<DeviceId> out) const;
+
   /// Migrates data to `next` (validate, reshape, drain) and atomically
   /// installs the new (strategy, config) epoch; concurrent place() calls
   /// see either the old pair or the new pair, never a mix.  Returns the

@@ -167,6 +167,91 @@ TEST(Concurrency, ReadersSurviveSwapsToAndFromPrecomputed) {
   EXPECT_EQ(disk.placement_kind(), kinds[(kSwaps - 1) % 3]);
 }
 
+TEST(CopyLocations, MatchesPlaceAndReportsEpoch) {
+  VirtualDisk disk = make_disk(small_pool());
+  for (std::uint64_t block = 0; block < 200; ++block) {
+    const VirtualDisk::CopyLocations locs = disk.copy_locations(block);
+    ASSERT_EQ(locs.devices.size(), 2u);
+    DeviceId copies[2] = {kNoDevice, kNoDevice};
+    const std::uint64_t epoch = disk.place(block, copies);
+    EXPECT_EQ(locs.epoch, epoch);
+    EXPECT_EQ(locs.devices[0], copies[0]);
+    EXPECT_EQ(locs.devices[1], copies[1]);
+  }
+}
+
+TEST(CopyLocations, TryFormFillsSpanAndReturnsEpoch) {
+  VirtualDisk disk = make_disk(small_pool());
+  std::vector<DeviceId> out(2, kNoDevice);
+  const Result<std::uint64_t> epoch = disk.try_copy_locations(42, out);
+  ASSERT_TRUE(epoch.ok()) << epoch.error().message;
+  EXPECT_EQ(epoch.value(), disk.placement_snapshot()->epoch);
+  EXPECT_NE(out[0], out[1]);
+  EXPECT_TRUE(disk.config().contains(out[0]));
+  EXPECT_TRUE(disk.config().contains(out[1]));
+}
+
+TEST(CopyLocations, TryFormRejectsWrongSizeWithoutWriting) {
+  VirtualDisk disk = make_disk(small_pool());
+  std::vector<DeviceId> wrong(3, kNoDevice);
+  const Result<std::uint64_t> r = disk.try_copy_locations(42, wrong);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidArgument);
+  for (const DeviceId uid : wrong) EXPECT_EQ(uid, kNoDevice);
+}
+
+// copy_locations under a racing strategy swap: every result must be a
+// self-consistent k-set from SOME epoch, and the allocation-free form must
+// either agree or fail cleanly with kInvalidArgument (never tear).
+TEST(Concurrency, CopyLocationsStaysConsistentDuringSwaps) {
+  VirtualDisk disk = make_disk(small_pool());
+
+  constexpr int kReaders = 3;
+  constexpr int kSwaps = 25;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&disk, &stop, &failures, r] {
+      std::uint64_t address = static_cast<std::uint64_t>(r) << 32;
+      std::uint64_t last_epoch = 0;
+      std::vector<DeviceId> buf(2, kNoDevice);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const VirtualDisk::CopyLocations locs =
+            disk.copy_locations(address);
+        if (locs.devices.size() != 2) failures.fetch_add(1);
+        for (std::size_t i = 0; i < locs.devices.size(); ++i) {
+          for (std::size_t j = i + 1; j < locs.devices.size(); ++j) {
+            if (locs.devices[i] == locs.devices[j]) failures.fetch_add(1);
+          }
+        }
+        if (locs.epoch < last_epoch) failures.fetch_add(1);
+        last_epoch = locs.epoch;
+
+        const Result<std::uint64_t> epoch =
+            disk.try_copy_locations(address, buf);
+        if (epoch.ok()) {
+          if (buf[0] == buf[1]) failures.fetch_add(1);
+        } else if (epoch.code() != ErrorCode::kInvalidArgument) {
+          failures.fetch_add(1);  // only the size race may fail
+        }
+        ++address;
+      }
+    });
+  }
+
+  const ClusterConfig configs[2] = {big_pool(), small_pool()};
+  for (int s = 0; s < kSwaps; ++s) {
+    const Result<std::size_t> r = disk.apply_config(configs[s % 2]);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 // Same race through the convenience API: place() grabs its own snapshot.
 TEST(Concurrency, PlaceIsLockFreeAgainstTopologyChanges) {
   VirtualDisk disk = make_disk(small_pool());

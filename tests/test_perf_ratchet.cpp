@@ -99,15 +99,15 @@ BenchRun run_with(std::initializer_list<BenchRow> rows,
 
 TEST(PerfRatchetCompare, PassesWithinTolerance) {
   Report report;
-  compare_runs(run_with({{"a", 100.0}, {"b", 1000.0}}),
-               run_with({{"a", 70.0}, {"b", 1300.0}}), {.tolerance = 0.40},
+  compare_runs(run_with({{"a", 100.0, {}}, {"b", 1000.0, {}}}),
+               run_with({{"a", 70.0, {}}, {"b", 1300.0, {}}}), {.tolerance = 0.40},
                report);
   EXPECT_TRUE(report.ok()) << report.failures.front();
 }
 
 TEST(PerfRatchetCompare, FailsBeyondTolerance) {
   Report report;
-  compare_runs(run_with({{"a", 100.0}}), run_with({{"a", 59.0}}),
+  compare_runs(run_with({{"a", 100.0, {}}}), run_with({{"a", 59.0, {}}}),
                {.tolerance = 0.40}, report);
   ASSERT_EQ(report.failures.size(), 1u);
   EXPECT_NE(report.failures[0].find("regression"), std::string::npos);
@@ -116,8 +116,8 @@ TEST(PerfRatchetCompare, FailsBeyondTolerance) {
 
 TEST(PerfRatchetCompare, FailsOnMissingBaselineRow) {
   Report report;
-  compare_runs(run_with({{"a", 100.0}, {"gone", 5.0}}),
-               run_with({{"a", 100.0}, {"fresh", 1.0}}), {}, report);
+  compare_runs(run_with({{"a", 100.0, {}}, {"gone", 5.0, {}}}),
+               run_with({{"a", 100.0, {}}, {"fresh", 1.0, {}}}), {}, report);
   ASSERT_EQ(report.failures.size(), 1u);
   EXPECT_NE(report.failures[0].find("`gone`"), std::string::npos);
   // The row the baseline lacks is a note (candidate for ratcheting in).
@@ -126,7 +126,7 @@ TEST(PerfRatchetCompare, FailsOnMissingBaselineRow) {
 
 TEST(PerfRatchetCompare, NotesLargeImprovements) {
   Report report;
-  compare_runs(run_with({{"a", 100.0}}), run_with({{"a", 250.0}}),
+  compare_runs(run_with({{"a", 100.0, {}}}), run_with({{"a", 250.0, {}}}),
                {.tolerance = 0.40}, report);
   EXPECT_TRUE(report.ok());
   ASSERT_EQ(report.notes.size(), 1u);
@@ -169,7 +169,7 @@ TEST(PerfRatchetSpeedup, ParsesRuleSpecs) {
 }
 
 TEST(PerfRatchetSpeedup, EnforcesMinimumRatio) {
-  const BenchRun run = run_with({{"fast", 500.0}, {"slow", 100.0}});
+  const BenchRun run = run_with({{"fast", 500.0, {}}, {"slow", 100.0, {}}});
   {
     Report report;
     check_speedup(run, {"fast", "slow", 4.0}, report);
@@ -186,6 +186,91 @@ TEST(PerfRatchetSpeedup, EnforcesMinimumRatio) {
     Report report;
     check_speedup(run, {"fast", "absent", 2.0}, report);
     EXPECT_FALSE(report.ok());
+  }
+}
+
+TEST(PerfRatchetLatency, ExtractsP99Counter) {
+  const BenchRun run = extract_run(parse_json(R"({
+    "context": {"rds_build_type": "release"},
+    "benchmarks": [
+      {"name": "slo", "run_type": "iteration", "items_per_second": 5.0,
+       "p99_us": 340.5},
+      {"name": "plain", "run_type": "iteration", "items_per_second": 5.0}
+    ]
+  })"));
+  ASSERT_NE(run.find("slo"), nullptr);
+  ASSERT_TRUE(run.find("slo")->p99_us.has_value());
+  EXPECT_DOUBLE_EQ(*run.find("slo")->p99_us, 340.5);
+  EXPECT_FALSE(run.find("plain")->p99_us.has_value());
+}
+
+TEST(PerfRatchetLatency, ParsesRuleSpecs) {
+  const auto rule = parse_latency_rule("bm/zipf09/p2c:bm/zipf09/random:1.0");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->fast, "bm/zipf09/p2c");
+  EXPECT_EQ(rule->slow, "bm/zipf09/random");
+  EXPECT_DOUBLE_EQ(rule->max_ratio, 1.0);
+  EXPECT_FALSE(parse_latency_rule("no-colons").has_value());
+  EXPECT_FALSE(parse_latency_rule("a:b:-1").has_value());
+}
+
+BenchRow slo_row(std::string name, double p99) {
+  BenchRow row;
+  row.name = std::move(name);
+  row.rate = 100.0;
+  row.p99_us = p99;
+  return row;
+}
+
+TEST(PerfRatchetLatency, EnforcesStrictOrdering) {
+  const BenchRun run =
+      run_with({slo_row("p2c", 340.0), slo_row("random", 980.0)});
+  {
+    Report report;
+    check_latency(run, {"p2c", "random", 1.0}, report);
+    EXPECT_TRUE(report.ok()) << report.failures.front();
+    ASSERT_EQ(report.notes.size(), 1u);
+    EXPECT_NE(report.notes[0].find("latency ok"), std::string::npos);
+  }
+  {
+    // Inverted direction: random is NOT below p2c.
+    Report report;
+    check_latency(run, {"random", "p2c", 1.0}, report);
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_NE(report.failures[0].find("latency"), std::string::npos);
+  }
+  {
+    // A tie fails too -- the SLO counters are deterministic, so the
+    // comparison is strict.
+    Report report;
+    const BenchRun tied =
+        run_with({slo_row("p2c", 500.0), slo_row("random", 500.0)});
+    check_latency(tied, {"p2c", "random", 1.0}, report);
+    EXPECT_FALSE(report.ok());
+  }
+  {
+    // A looser ratio relaxes the bound: 340 < 980 * 0.5.
+    Report report;
+    check_latency(run, {"p2c", "random", 0.5}, report);
+    EXPECT_TRUE(report.ok());
+  }
+}
+
+TEST(PerfRatchetLatency, FailsOnMissingRowsOrCounters) {
+  {
+    Report report;
+    check_latency(run_with({slo_row("p2c", 340.0)}),
+                  {"p2c", "absent", 1.0}, report);
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_NE(report.failures[0].find("`absent`"), std::string::npos);
+  }
+  {
+    // Row exists but carries no p99_us counter (not an SLO benchmark).
+    Report report;
+    check_latency(run_with({slo_row("p2c", 340.0), {"plain", 5.0, {}}}),
+                  {"p2c", "plain", 1.0}, report);
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_NE(report.failures[0].find("p99_us"), std::string::npos);
   }
 }
 

@@ -90,6 +90,21 @@ TEST(RdsAnalyze, MetricBalancePassesGuardAndManualBalance) {
   EXPECT_TRUE(analyze_fixture("gauge_leak_good.cpp").empty());
 }
 
+TEST(RdsAnalyze, MetricBalanceTripsOnLoadSimInflightShape) {
+  // The read-path simulator's per-request in-flight gauge: a throwing
+  // selector call between add() and sub() leaks on the exception edge.
+  const auto findings = analyze_fixture("loadsim_gauge_bad.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "metric-balance");
+  EXPECT_EQ(findings[0].line, 15);
+  EXPECT_NE(findings[0].message.find("inflight_"), std::string::npos);
+}
+
+TEST(RdsAnalyze, MetricBalancePassesLoadSimGuardShape) {
+  // The guard shape src/sim/load_sim.cpp uses, plus the manual balance.
+  EXPECT_TRUE(analyze_fixture("loadsim_gauge_good.cpp").empty());
+}
+
 TEST(RdsAnalyze, ResultFlowTrips) {
   const auto findings = analyze_fixture("result_flow_bad.cpp");
   ASSERT_EQ(findings.size(), 1u);

@@ -21,9 +21,12 @@ int usage(const std::string& error = "") {
          "  perf_ratchet check --baseline FILE --current FILE\n"
          "               [--tolerance FRACTION]  (default 0.40)\n"
          "               [--min-speedup FAST:SLOW:RATIO] ...\n"
+         "               [--max-p99-ratio FAST:SLOW:RATIO] ...\n"
          "      Fails (exit 1) when the current run was not an NDEBUG\n"
          "      build, a baseline row is missing or slower than\n"
-         "      (1 - tolerance) x baseline, or a speedup rule is violated.\n"
+         "      (1 - tolerance) x baseline, a speedup rule is violated,\n"
+         "      or FAST's p99_us counter is not strictly below SLOW's\n"
+         "      p99_us x RATIO (SLO rows from bench/perf_latency.cpp).\n"
          "  perf_ratchet stamp --in FILE --out FILE\n"
          "      Rewrites library_build_type from rds_build_type so the\n"
          "      committed JSON reports the build type of the code under\n"
@@ -56,6 +59,7 @@ int run_check(const std::vector<std::string>& args) {
   std::string current_path;
   RatchetOptions options;
   std::vector<SpeedupRule> rules;
+  std::vector<LatencyRule> latency_rules;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     std::string value;
@@ -80,6 +84,13 @@ int run_check(const std::vector<std::string>& args) {
       const auto rule = parse_speedup_rule(value);
       if (!rule) return usage("bad --min-speedup spec: " + value);
       rules.push_back(*rule);
+    } else if (arg == "--max-p99-ratio") {
+      if (!next_value(args, i, value)) {
+        return usage("--max-p99-ratio needs FAST:SLOW:RATIO");
+      }
+      const auto rule = parse_latency_rule(value);
+      if (!rule) return usage("bad --max-p99-ratio spec: " + value);
+      latency_rules.push_back(*rule);
     } else {
       return usage("unknown check option: " + arg);
     }
@@ -106,6 +117,9 @@ int run_check(const std::vector<std::string>& args) {
     for (const SpeedupRule& rule : rules) {
       check_speedup(current, rule, report);
     }
+    for (const LatencyRule& rule : latency_rules) {
+      check_latency(current, rule, report);
+    }
   } catch (const std::exception& e) {
     std::cerr << "perf_ratchet: " << e.what() << "\n";
     return 2;
@@ -123,7 +137,8 @@ int run_check(const std::vector<std::string>& args) {
     return 1;
   }
   std::cout << "perf_ratchet: OK (tolerance " << options.tolerance << ", "
-            << rules.size() << " speedup rule(s))\n";
+            << rules.size() << " speedup rule(s), " << latency_rules.size()
+            << " latency rule(s))\n";
   return 0;
 }
 

@@ -438,6 +438,11 @@ BenchRun extract_run(const Json& doc) {
                                "` has neither items_per_second nor a "
                                "positive real_time");
     }
+    // Custom counters surface as top-level row fields; p99_us is the SLO
+    // counter the latency rules key on (bench/perf_latency.cpp).
+    if (const Json* p99 = entry.find("p99_us")) {
+      row.p99_us = p99->number;
+    }
     run.rows.push_back(std::move(row));
   }
   return run;
@@ -460,6 +465,17 @@ std::optional<SpeedupRule> parse_speedup_rule(std::string_view spec) {
   if (end != ratio.c_str() + ratio.size() || !(rule.min_ratio > 0.0)) {
     return std::nullopt;
   }
+  return rule;
+}
+
+std::optional<LatencyRule> parse_latency_rule(std::string_view spec) {
+  // Same FAST:SLOW:RATIO grammar as speedup rules.
+  const std::optional<SpeedupRule> parsed = parse_speedup_rule(spec);
+  if (!parsed) return std::nullopt;
+  LatencyRule rule;
+  rule.fast = parsed->fast;
+  rule.slow = parsed->slow;
+  rule.max_ratio = parsed->min_ratio;
   return rule;
 }
 
@@ -543,6 +559,39 @@ void check_speedup(const BenchRun& current, const SpeedupRule& rule,
   } else {
     report.notes.push_back("speedup ok: `" + rule.fast + "` is " +
                            format_rate(ratio) + "x `" + rule.slow + "`");
+  }
+}
+
+void check_latency(const BenchRun& current, const LatencyRule& rule,
+                   Report& report) {
+  const BenchRow* fast = current.find(rule.fast);
+  const BenchRow* slow = current.find(rule.slow);
+  if (fast == nullptr || slow == nullptr) {
+    report.failures.push_back(
+        "latency: rule needs `" + rule.fast + "` and `" + rule.slow +
+        "` but the current run lacks " +
+        (fast == nullptr ? "`" + rule.fast + "`" : "`" + rule.slow + "`"));
+    return;
+  }
+  if (!fast->p99_us || !slow->p99_us) {
+    report.failures.push_back(
+        "latency: `" +
+        (fast->p99_us ? rule.slow : rule.fast) +
+        "` carries no p99_us counter -- not an SLO benchmark row?");
+    return;
+  }
+  const double bound = *slow->p99_us * rule.max_ratio;
+  if (!(*fast->p99_us < bound)) {
+    report.failures.push_back(
+        "latency: `" + rule.fast + "` p99 " + format_rate(*fast->p99_us) +
+        "us is not strictly below " + format_rate(bound) + "us (`" +
+        rule.slow + "` p99 " + format_rate(*slow->p99_us) + "us x " +
+        format_rate(rule.max_ratio) + ")");
+  } else {
+    report.notes.push_back("latency ok: `" + rule.fast + "` p99 " +
+                           format_rate(*fast->p99_us) + "us < `" + rule.slow +
+                           "` p99 " + format_rate(*slow->p99_us) + "us x " +
+                           format_rate(rule.max_ratio));
   }
 }
 

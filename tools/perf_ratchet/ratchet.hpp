@@ -60,6 +60,10 @@ struct Json {
 struct BenchRow {
   std::string name;
   double rate = 0.0;  ///< items/s when reported, else iterations/s
+  /// p99 response latency in us, from the row's `p99_us` custom counter
+  /// (bench/perf_latency.cpp).  Unlike `rate` this is an output of the
+  /// seeded queueing model, so rules over it are machine-independent.
+  std::optional<double> p99_us;
 };
 
 struct BenchRun {
@@ -97,6 +101,18 @@ struct SpeedupRule {
 [[nodiscard]] std::optional<SpeedupRule> parse_speedup_rule(
     std::string_view spec);
 
+/// A machine-independent SLO invariant over the seeded queueing model:
+/// `fast`'s p99_us must be STRICTLY below `slow`'s p99_us * max_ratio.
+/// Spec form "FAST:SLOW:RATIO"; ratio 1.0 says "strictly better".
+struct LatencyRule {
+  std::string fast;
+  std::string slow;
+  double max_ratio = 1.0;
+};
+
+[[nodiscard]] std::optional<LatencyRule> parse_latency_rule(
+    std::string_view spec);
+
 struct Report {
   std::vector<std::string> failures;
   std::vector<std::string> notes;
@@ -117,6 +133,13 @@ void compare_runs(const BenchRun& baseline, const BenchRun& current,
 
 /// Enforces one relative speedup invariant within `current`.
 void check_speedup(const BenchRun& current, const SpeedupRule& rule,
+                   Report& report);
+
+/// Enforces one p99 latency-ordering invariant within `current`: fails
+/// when either row or its p99_us counter is missing, or when
+/// fast.p99_us >= slow.p99_us * max_ratio (the comparison is strict --
+/// the SLO counters are deterministic, so a tie is a real finding).
+void check_latency(const BenchRun& current, const LatencyRule& rule,
                    Report& report);
 
 // ---------- Stamping ----------

@@ -31,6 +31,15 @@
 //       docs/metrics.md) in text form: placement counters, chain depths,
 //       per-device load gauges.
 //
+//   rds_cli loadsim  --caps 500,600,700 --k 2 [--workload zipf:0.9]
+//                    [--policy all] [--requests 100000] [--rate 0.05]
+//                    [--service exponential] [--seed 42] [--balls 100000]
+//       Read-path SLO benchmark: replays a synthetic open-loop read trace
+//       against the k copy locations of every ball and reports
+//       p50/p99/p999 response latency plus device utilization per
+//       replica-selection policy (docs/load_balancing.md).  Device speed
+//       scales with capacity; --rate is requests per microsecond.
+//
 //   rds_cli snapshot --caps 500,600,700 --out ckpt.bin [--journal wal.bin]
 //                    [--script ops.txt] [--scheme mirror:2]
 //       Writes a checkpoint of the freshly built disk, then (optionally)
@@ -51,7 +60,9 @@
 // means passing 0 for retired devices.
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
+#include <iomanip>
 #include <functional>
 #include <iostream>
 #include <limits>
@@ -78,7 +89,10 @@
 #include "src/storage/erasure/rdp.hpp"
 #include "src/sim/block_map.hpp"
 #include "src/sim/fairness_report.hpp"
+#include "src/sim/load_sim.hpp"
 #include "src/sim/movement.hpp"
+#include "src/sim/replica_selector.hpp"
+#include "src/sim/workload.hpp"
 
 namespace {
 
@@ -88,7 +102,7 @@ using namespace rds;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr
       << "usage: rds_cli <analyze|place|fairness|migrate|loss|simulate|stats"
-         "|snapshot|recover> [options]\n"
+         "|loadsim|snapshot|recover> [options]\n"
       << "  --caps a,b,c      device capacities (uid = position)\n"
       << "  --to-caps a,b,c   target capacities for `migrate` (0 = retired)\n"
       << "  --k N             replication degree (default 2)\n"
@@ -106,6 +120,18 @@ using namespace rds;
       << "                    default redundant-share\n"
       << "  --threads N       worker threads for place/fairness/stats\n"
       << "                    (default 1; 0 = all hardware threads)\n"
+      << "  --workload W      `loadsim` trace shape: " << workload_kind_names()
+      << "\n"
+      << "                    (default zipf:0.9)\n"
+      << "  --policy P        `loadsim` replica selector: "
+      << replica_selector_names() << ",\n"
+      << "                    or `all` to sweep every policy (default all)\n"
+      << "  --requests N      `loadsim` trace length (default 100000)\n"
+      << "  --rate R          `loadsim` mean arrival rate, requests/us\n"
+      << "                    (default 0.05)\n"
+      << "  --service S       `loadsim` service-time shape: deterministic,\n"
+      << "                    exponential, lognormal (default exponential)\n"
+      << "  --seed N          `loadsim` trace/service RNG seed (default 42)\n"
       << "  --out F           checkpoint output file for `snapshot`\n"
       << "  --snapshot F      checkpoint input file for `recover`\n"
       << "  --journal F       write-ahead journal file (written by\n"
@@ -143,6 +169,19 @@ unsigned parse_u32(const std::string& what, const std::string& value) {
   return static_cast<unsigned>(v);
 }
 
+double parse_positive_double(const std::string& what,
+                             const std::string& value) {
+  double out = 0.0;
+  const char* const first = value.data();
+  const char* const last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc() || ptr != last || value.empty() ||
+      !std::isfinite(out) || out <= 0.0) {
+    usage("bad " + what + ": '" + value + "' (expected positive number)");
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> parse_caps(const std::string& arg) {
   std::vector<std::uint64_t> caps;
   std::stringstream ss(arg);
@@ -172,6 +211,12 @@ struct Args {
   std::string script;
   std::string scheme = "mirror:2";
   std::string metrics_out;
+  std::string workload = "zipf:0.9";  // `loadsim` trace shape
+  std::string policy = "all";         // `loadsim` replica selector
+  std::string service = "exponential";  // `loadsim` service-time shape
+  double rate = 0.05;                 // `loadsim` arrivals per microsecond
+  std::uint64_t requests = 100'000;   // `loadsim` trace length
+  std::uint64_t seed = 42;            // `loadsim` RNG seed
   std::string out;            // `snapshot` checkpoint target
   std::string snapshot_path;  // `recover` checkpoint source
   std::string journal;        // journal file (snapshot writes, recover reads)
@@ -289,6 +334,18 @@ Args parse(int argc, char** argv) {
   }
   if (const std::string v = get("--balls"); !v.empty()) {
     args.balls = parse_u64("--balls", v);
+  }
+  if (const std::string v = get("--workload"); !v.empty()) args.workload = v;
+  if (const std::string v = get("--policy"); !v.empty()) args.policy = v;
+  if (const std::string v = get("--service"); !v.empty()) args.service = v;
+  if (const std::string v = get("--rate"); !v.empty()) {
+    args.rate = parse_positive_double("--rate", v);
+  }
+  if (const std::string v = get("--requests"); !v.empty()) {
+    args.requests = parse_u64("--requests", v);
+  }
+  if (const std::string v = get("--seed"); !v.empty()) {
+    args.seed = parse_u64("--seed", v);
   }
   if (args.k == 0) usage("--k must be at least 1");
   // `recover` rebuilds its configuration from the checkpoint itself.
@@ -437,6 +494,94 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+ServiceModel::Shape parse_service_shape(const std::string& name) {
+  if (name == "deterministic" || name == "det") {
+    return ServiceModel::Shape::kDeterministic;
+  }
+  if (name == "exponential" || name == "exp") {
+    return ServiceModel::Shape::kExponential;
+  }
+  if (name == "lognormal") return ServiceModel::Shape::kLognormal;
+  usage("unknown --service: " + name +
+        " (valid: deterministic (det), exponential (exp), lognormal)");
+}
+
+int cmd_loadsim(const Args& args) {
+  const ClusterConfig config = config_from(args.caps);
+  const VirtualDisk disk(config, std::make_shared<MirroringScheme>(args.k),
+                         args.strategy);
+
+  // Device speed scales with capacity: the largest device serves a request
+  // in 25us (20 seek + 5 transfer), a half-size device takes twice that.
+  const ServiceModel::Shape shape = parse_service_shape(args.service);
+  std::uint64_t max_cap = 0;
+  for (const Device& d : config.devices()) {
+    max_cap = std::max(max_cap, d.capacity);
+  }
+  std::vector<ServiceModel> models;
+  for (const Device& d : config.devices()) {
+    const double scale =
+        static_cast<double>(max_cap) / static_cast<double>(d.capacity);
+    ServiceModel m;
+    m.seek_us = 20.0 * scale;
+    m.us_per_block = 5.0 * scale;
+    m.shape = shape;
+    models.push_back(m);
+  }
+
+  Result<std::unique_ptr<WorkloadGenerator>> workload =
+      try_make_workload(args.workload, args.balls);
+  if (!workload.ok()) usage(workload.error().message);
+  Xoshiro256 trace_rng(args.seed);
+  const std::vector<Request> trace =
+      make_trace(*workload.value(), args.requests, args.rate, trace_rng);
+
+  std::vector<SelectorKind> policies;
+  if (args.policy == "all") {
+    const auto all = all_selector_kinds();
+    policies.assign(all.begin(), all.end());
+  } else {
+    const Result<std::unique_ptr<ReplicaSelector>> probe =
+        try_make_replica_selector(args.policy);
+    if (!probe.ok()) usage(probe.error().message);
+    for (const SelectorKind kind : all_selector_kinds()) {
+      if (to_string(kind) == probe.value()->name()) policies.push_back(kind);
+    }
+  }
+
+  std::cout << "workload:            " << workload.value()->name() << '\n'
+            << "balls:               " << args.balls << '\n'
+            << "requests:            " << trace.size() << '\n'
+            << "arrival rate:        " << args.rate << " req/us\n"
+            << "service shape:       " << args.service << '\n'
+            << "replication k:       " << args.k << "  ("
+            << to_string(args.strategy) << ")\n\n";
+
+  const auto line = [] {
+    std::cout << "  " << std::string(76, '-') << '\n';
+  };
+  std::cout << "  " << std::left << std::setw(14) << "policy" << std::right
+            << std::setw(12) << "p50 us" << std::setw(12) << "p99 us"
+            << std::setw(12) << "p999 us" << std::setw(12) << "mean us"
+            << std::setw(12) << "max util" << '\n';
+  line();
+  for (const SelectorKind kind : policies) {
+    // Identical seeds per policy: rows differ only by the selector.
+    Xoshiro256 rng(args.seed + 1);
+    const auto selector = make_replica_selector(kind);
+    const LoadResult r = simulate_load(disk, trace, models, *selector, rng);
+    std::cout << "  " << std::left << std::setw(14) << selector->name()
+              << std::right << std::fixed << std::setprecision(1)
+              << std::setw(12) << r.p50_response_us << std::setw(12)
+              << r.p99_response_us << std::setw(12) << r.p999_response_us
+              << std::setw(12) << r.mean_response_us << std::setprecision(1)
+              << std::setw(11) << 100.0 * r.max_utilization() << "%"
+              << std::defaultfloat << '\n';
+  }
+  line();
+  return 0;
+}
+
 int cmd_snapshot(const Args& args) {
   if (args.out.empty()) usage("snapshot requires --out");
   VirtualDisk disk(config_from(args.caps), parse_scheme(args.scheme),
@@ -541,6 +686,7 @@ int dispatch(const Args& args) {
   if (args.command == "loss") return cmd_loss(args);
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "loadsim") return cmd_loadsim(args);
   if (args.command == "snapshot") return cmd_snapshot(args);
   if (args.command == "recover") return cmd_recover(args);
   usage("unknown command: " + args.command);
