@@ -1,0 +1,31 @@
+// rds_analyze fixture: trips lock-held-across-call once, through a
+// factory-typed local.  make_selector()'s declared return class types
+// `sel`, so sel.pick() resolves to Selector::pick -- which sleeps.
+
+namespace fix {
+
+class Selector {
+ public:
+  void pick(int k) {
+    std::this_thread::sleep_for(delay_);
+  }
+
+ private:
+  Duration delay_;
+};
+
+Selector make_selector();
+
+class Balancer {
+ public:
+  void rebalance() {
+    auto sel = make_selector();
+    const MutexLock lock(mu_);
+    sel.pick(2);
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace fix

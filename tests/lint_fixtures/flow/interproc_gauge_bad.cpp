@@ -1,0 +1,26 @@
+// rds_analyze fixture: trips metric-balance once, interprocedurally.
+// The in-flight gauge is add()ed, a throwing call runs, and the balance
+// only happens inside finish() -- the helper subs on all of ITS paths,
+// but the exception edge in run() bypasses the call entirely.
+
+namespace fix {
+
+class Placer {
+ public:
+  void run(int n) {
+    inflight_->add(1);
+    risky(n);
+    finish();
+  }
+
+ private:
+  void risky(int n);
+
+  void finish() {
+    inflight_->sub(1);
+  }
+
+  Gauge* inflight_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// rds_analyze fixture twin: clean.  Nothing throwing sits between the
+// add() and the call into the helper that sub()s on every path, so the
+// callee's summary balances the gauge at the call site.
+
+namespace fix {
+
+class Placer {
+ public:
+  void run(int n) {
+    inflight_->add(1);
+    finish();
+    risky(n);
+  }
+
+ private:
+  void risky(int n);
+
+  void finish() {
+    inflight_->sub(1);
+  }
+
+  Gauge* inflight_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,27 @@
+// rds_analyze fixture: trips lock-held-across-call twice, both directly:
+// an fsync and a sleep inside the critical section.  Every waiter on the
+// mutex stalls behind the I/O.
+
+namespace fix {
+
+class Syncer {
+ public:
+  void flush() {
+    const MutexLock lock(mu_);
+    dirty_ = false;
+    fsync(fd_);
+  }
+
+  void pace() {
+    const MutexLock lock(mu_);
+    std::this_thread::sleep_for(backoff_);
+  }
+
+ private:
+  Mutex mu_;
+  bool dirty_ = false;
+  int fd_ = -1;
+  Duration backoff_;
+};
+
+}  // namespace fix

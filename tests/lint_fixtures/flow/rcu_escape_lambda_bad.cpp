@@ -1,0 +1,19 @@
+// rds_analyze fixture: trips rcu-escape once.  The epoch handle is
+// captured by a lambda handed to an executor; the closure may run after
+// the epoch is retired.
+
+namespace fix {
+
+class Refresher {
+ public:
+  void schedule() {
+    auto snap = published_.read();
+    executor_.submit([snap] { consume(snap); });
+  }
+
+ private:
+  RcuCell<PlacementEpoch> published_;
+  Executor executor_;
+};
+
+}  // namespace fix

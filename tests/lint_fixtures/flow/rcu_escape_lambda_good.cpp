@@ -1,0 +1,19 @@
+// rds_analyze fixture twin: clean.  Only plain copied data crosses into
+// the deferred closure; the epoch handle never leaves the guard scope.
+
+namespace fix {
+
+class Refresher {
+ public:
+  void schedule() {
+    auto snap = published_.read();
+    const long count = snap->count;
+    executor_.submit([count] { record(count); });
+  }
+
+ private:
+  RcuCell<PlacementEpoch> published_;
+  Executor executor_;
+};
+
+}  // namespace fix

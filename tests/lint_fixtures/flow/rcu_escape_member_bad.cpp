@@ -1,0 +1,19 @@
+// rds_analyze fixture: trips rcu-escape once.  The epoch-guarded handle
+// read out of the RcuCell is stashed in a plain member, which outlives
+// the epoch the handle is only valid under.
+
+namespace fix {
+
+class Cache {
+ public:
+  void refresh() {
+    auto snap = published_.read();
+    last_ = snap;
+  }
+
+ private:
+  RcuCell<PlacementEpoch> published_;
+  EpochHandle last_;
+};
+
+}  // namespace fix

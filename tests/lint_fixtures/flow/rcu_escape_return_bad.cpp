@@ -1,0 +1,18 @@
+// rds_analyze fixture: trips rcu-escape once.  A raw pointer into the
+// epoch-guarded snapshot is returned past the guard scope; the caller
+// holds a view into memory the next publish may retire.
+
+namespace fix {
+
+class Reader {
+ public:
+  const PlacementEpoch* borrow() {
+    auto snap = published_.read();
+    return snap.get();
+  }
+
+ private:
+  RcuCell<PlacementEpoch> published_;
+};
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+// rds_analyze fixture twin: clean.  Returning the shared handle (which
+// pins the epoch) or a plain copy of the data is the supported way to
+// hand a snapshot outward.
+
+namespace fix {
+
+class Reader {
+ public:
+  EpochHandle borrow() {
+    return published_.read();
+  }
+
+  long version() {
+    auto snap = published_.read();
+    return snap->version;
+  }
+
+ private:
+  RcuCell<PlacementEpoch> published_;
+};
+
+}  // namespace fix

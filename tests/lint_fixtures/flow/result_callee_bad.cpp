@@ -1,0 +1,25 @@
+// rds_analyze fixture: trips result-flow twice.  drive() hands its
+// Result to log_only(), which never inspects it -- so the caller's pass
+// is not a consumption (one finding at the definition in drive) and the
+// callee's ignored Result parameter earns its own finding.
+
+namespace fix {
+
+class Pool {
+ public:
+  Result<int> try_fetch(int key);
+
+  void drive(int key) {
+    auto fetched = try_fetch(key);
+    log_only(fetched);
+  }
+
+ private:
+  void log_only(Result<int> r) {
+    count_ += 1;
+  }
+
+  int count_ = 0;
+};
+
+}  // namespace fix

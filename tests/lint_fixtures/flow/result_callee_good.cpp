@@ -1,0 +1,25 @@
+// rds_analyze fixture twin: clean.  The helper inspects the Result it
+// is handed, so passing it there IS consumption.
+
+namespace fix {
+
+class Pool {
+ public:
+  Result<int> try_fetch(int key);
+
+  void drive(int key) {
+    auto fetched = try_fetch(key);
+    log_checked(fetched);
+  }
+
+ private:
+  void log_checked(Result<int> r) {
+    if (!r.ok()) {
+      failures_ += 1;
+    }
+  }
+
+  int failures_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,32 @@
+// rds_analyze fixture: trips lock-held-across-call once, through the
+// wrapper-pair convention.  Index::refresh is declared but not defined
+// here; its try_refresh twin is, and it fsyncs -- so the lock-holding
+// call to refresh() inherits the twin's blocking summary.
+
+namespace fix {
+
+class Index {
+ public:
+  void refresh();
+
+  Result<int> try_refresh() {
+    fsync(fd_);
+    return Result<int>(0);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class Coordinator {
+ public:
+  void tick(Index& idx) {
+    const MutexLock lock(mu_);
+    idx.refresh();
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace fix

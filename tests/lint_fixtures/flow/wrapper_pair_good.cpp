@@ -1,0 +1,34 @@
+// rds_analyze fixture twin: clean.  The wrapper-resolved blocking call
+// happens after the guard scope closes.
+
+namespace fix {
+
+class Index {
+ public:
+  void refresh();
+
+  Result<int> try_refresh() {
+    fsync(fd_);
+    return Result<int>(0);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class Coordinator {
+ public:
+  void tick(Index& idx) {
+    {
+      const MutexLock lock(mu_);
+      ticks_ += 1;
+    }
+    idx.refresh();
+  }
+
+ private:
+  Mutex mu_;
+  int ticks_ = 0;
+};
+
+}  // namespace fix

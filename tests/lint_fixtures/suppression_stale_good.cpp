@@ -1,0 +1,20 @@
+// Fixture twin: every allow() either shields a live finding or names a
+// rule that belongs to another tool (rds_analyze), which rds_lint must
+// leave alone -- zero findings expected.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter_value{0};
+
+int still_violating() {
+  // rds_lint: allow(atomic-memory-order) -- fixture: suppression in use
+  return counter_value.load();
+}
+
+int foreign_rule() {
+  // rds_lint: allow(lock-order) -- rds_analyze's rule; not ours to judge
+  return counter_value.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -37,7 +37,8 @@ std::set<std::string> rules_of(const std::vector<Finding>& findings) {
 TEST(RdsLint, RuleListIsComplete) {
   const std::vector<std::string> expected = {
       "atomic-memory-order",   "result-path-throw", "placement-determinism",
-      "header-hygiene",        "metrics-naming",    "nodiscard-result"};
+      "header-hygiene",        "metrics-naming",    "nodiscard-result",
+      "stale-suppression"};
   EXPECT_EQ(rds::lint::rule_ids(), expected);
 }
 
@@ -163,11 +164,39 @@ TEST(RdsLint, SuppressionsWithReasonsAreHonored) {
 
 TEST(RdsLint, BadSuppressionsKeepTheFinding) {
   // Bare allow(), wrong rule id, and a comment separated from the finding
-  // by another code line must all leave the finding standing.
+  // by another code line must all leave the finding standing -- and the
+  // two reasoned-but-useless comments are additionally flagged as stale
+  // (the bare one was never a suppression, so it cannot be stale).
   const auto findings = lint_fixture("suppression_bad.cpp");
-  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings.size(), 5u);
   EXPECT_EQ(rules_of(findings),
-            std::set<std::string>{"atomic-memory-order"});
+            (std::set<std::string>{"atomic-memory-order",
+                                   "stale-suppression"}));
+  std::size_t stale = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == "stale-suppression") ++stale;
+  }
+  EXPECT_EQ(stale, 2u);
+}
+
+TEST(RdsLint, StaleSuppressionTrips) {
+  const auto findings = lint_fixture("suppression_stale_bad.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().rule, "stale-suppression");
+  EXPECT_EQ(findings.front().line, 11);  // the comment line, not the code
+}
+
+TEST(RdsLint, StaleSuppressionPasses) {
+  // A used suppression and a foreign (rds_analyze) rule id are both fine.
+  EXPECT_TRUE(lint_fixture("suppression_stale_good.cpp").empty());
+}
+
+TEST(RdsLint, StaleSuppressionNeedsAllRules) {
+  // With a --rule filter the other rules never ran, so "matches nothing"
+  // would be meaningless; the stale pass must stay off.
+  const auto findings = lint_fixture("suppression_stale_bad.cpp",
+                                     Options{{"atomic-memory-order"}});
+  EXPECT_TRUE(findings.empty());
 }
 
 TEST(RdsLint, OnlyRulesFilters) {

@@ -1,8 +1,6 @@
 #include "tools/rds_analyze/analyze.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <deque>
 #include <fstream>
 #include <map>
 #include <set>
@@ -16,359 +14,48 @@
 namespace rds::analyze {
 namespace {
 
-// ---- shared helpers --------------------------------------------------------
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-bool is_ident(const Tok& t, std::string_view s) {
-  return t.kind == Kind::kIdent && t.text == s;
+std::string display_of(const MethodKey& key) {
+  return key.first.empty() ? key.second : key.first + "::" + key.second;
 }
 
-bool is_punct(const Tok& t, std::string_view s) {
-  return t.kind == Kind::kPunct && t.text == s;
-}
-
-std::string lower(std::string s) {
-  for (char& c : s) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+std::string join(const std::vector<std::string>& v) {
+  std::string s;
+  for (const std::string& x : v) {
+    if (!s.empty()) s += ", ";
+    s += x;
   }
   return s;
 }
 
-std::size_t fwd_match(const std::vector<Tok>& t, std::size_t i,
-                      const char* open, const char* close) {
-  int depth = 0;
-  for (std::size_t j = i; j < t.size(); ++j) {
-    if (t[j].text == open) ++depth;
-    if (t[j].text == close && --depth == 0) return j;
+bool mentions(const std::vector<Tok>& t, std::size_t b, std::size_t e,
+              const std::string& name, std::size_t skip) {
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (i == skip) continue;
+    if (is_ident(t[i], name)) return true;
   }
-  return t.size();
+  return false;
 }
 
-// ---- per-function lock/call facts ------------------------------------------
-
-/// What a function does that the lock-order rule cares about: the lock
-/// nodes it acquires directly (with the set already held at that point)
-/// and every call site (with the held set), for closure + edge building.
-struct LockAcq {
-  std::string node;
-  int line = 0;
-  std::vector<std::string> held;
-};
-
-struct CallSite {
-  std::string name;
-  std::string recv_type;  ///< resolved receiver type, "" if unknown
-  bool has_recv = false;  ///< x.f() / x->f()
-  bool qualified = false; ///< Q::f()
-  std::string qual;       ///< Q for qualified calls
-  int line = 0;
-  std::vector<std::string> held;
-};
-
-struct FnFacts {
-  std::vector<LockAcq> acqs;
-  std::vector<CallSite> calls;
-};
-
-/// Parameter and local types, best effort: `Type[&*] name` where Type is
-/// a known class name.  Enough to resolve `disk.mu_` / `pool.mu_` and
-/// typed receiver calls; anything else stays an unknown receiver.
-std::map<std::string, std::string> collect_types(
-    const Function& fn, const std::set<std::string>& classes) {
-  std::map<std::string, std::string> types;
-  const auto scan = [&](const std::vector<Tok>& toks) {
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != Kind::kIdent || !classes.contains(toks[i].text)) {
-        continue;
-      }
-      std::size_t j = i + 1;
-      while (j < toks.size() &&
-             (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
-              is_ident(toks[j], "const"))) {
-        ++j;
-      }
-      if (j < toks.size() && toks[j].kind == Kind::kIdent) {
-        types[toks[j].text] = toks[i].text;
-      }
-    }
-  };
-  scan(fn.decl);
-  scan(fn.body);
-  return types;
+/// Member of *this* by naming convention: trailing '_', not preceded by
+/// an access path (x.y_ / Cls::kConst_ are someone else's state).
+bool member_ident(const std::vector<Tok>& b, std::size_t i) {
+  return b[i].kind == Kind::kIdent && b[i].text.size() >= 2 &&
+         b[i].text.ends_with("_") && !b[i].text.ends_with("__") &&
+         (i == 0 || !(is_punct(b[i - 1], ".") || is_punct(b[i - 1], "->") ||
+                      is_punct(b[i - 1], "::")));
 }
 
-std::set<std::string> collect_local_mutexes(const Function& fn) {
-  std::set<std::string> out;
-  const std::vector<Tok>& b = fn.body;
-  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
-    if (is_ident(b[i], "Mutex") && b[i + 1].kind == Kind::kIdent) {
-      out.insert(b[i + 1].text);
-    }
+/// The mention at `i` uses the handle itself (or extracts the raw
+/// pointer), as opposed to reading a field through it.
+bool handle_use(const std::vector<Tok>& b, std::size_t i) {
+  if (i + 1 >= b.size()) return true;
+  if (is_punct(b[i + 1], ".") || is_punct(b[i + 1], "->")) {
+    return i + 2 < b.size() && is_ident(b[i + 2], "get");
   }
-  return out;
+  return !is_punct(b[i + 1], "[");
 }
-
-bool call_excluded(const std::string& name) {
-  static const std::set<std::string> kNotCalls = {
-      "if",     "while",    "for",     "switch",   "catch",   "sizeof",
-      "alignof", "decltype", "noexcept", "static_assert", "alignas",
-      "return", "throw",    "new",     "delete",   "MutexLock"};
-  return kNotCalls.contains(name) || name.starts_with("RDS_");
-}
-
-/// Token-linear walk with brace scoping.  Locks are RAII in this
-/// codebase, so scope tracking (plus explicit lock()/unlock() toggles,
-/// which BatchPlacer::worker_loop relies on) is an accurate model.
-FnFacts collect_fn_facts(const Function& fn, const std::string& cls_prefix,
-                         bool starts_locked,
-                         const std::map<std::string, std::string>& types,
-                         const std::set<std::string>& local_mutexes) {
-  FnFacts facts;
-  struct Active {
-    std::string var;
-    std::string node;
-    int depth = 0;
-    bool live = true;
-  };
-  std::vector<Active> locks;
-  if (starts_locked && !cls_prefix.empty()) {
-    locks.push_back({"<entry>", cls_prefix + "::mu_", -1, true});
-  }
-  const auto held = [&]() {
-    std::vector<std::string> h;
-    for (const Active& a : locks) {
-      if (a.live) h.push_back(a.node);
-    }
-    return h;
-  };
-
-  const std::vector<Tok>& b = fn.body;
-  int depth = 0;
-  const std::string self = fn.display;
-  const auto resolve_lock_expr = [&](std::size_t abeg,
-                                     std::size_t aend) -> std::string {
-    const std::size_t n = aend - abeg;
-    if (n == 1 && b[abeg].kind == Kind::kIdent) {
-      const std::string& v = b[abeg].text;
-      if (local_mutexes.contains(v)) return self + "." + v;
-      return cls_prefix + "::" + v;
-    }
-    if (n == 3 && b[abeg].kind == Kind::kIdent &&
-        (is_punct(b[abeg + 1], ".") || is_punct(b[abeg + 1], "->")) &&
-        b[abeg + 2].kind == Kind::kIdent) {
-      const auto it = types.find(b[abeg].text);
-      if (it != types.end()) return it->second + "::" + b[abeg + 2].text;
-      return "?" + self + "::" + b[abeg].text + "." + b[abeg + 2].text;
-    }
-    if (n >= 2 && b[abeg].kind == Kind::kIdent && is_punct(b[abeg + 1], "(")) {
-      // Lock-returning helper, e.g. lock_of(uid): one node per helper.
-      return cls_prefix + "::" + b[abeg].text + "()";
-    }
-    std::string joined = "?" + self + "::";
-    for (std::size_t k = abeg; k < aend; ++k) joined += b[k].text;
-    return joined;
-  };
-
-  std::size_t i = 0;
-  while (i < b.size()) {
-    const Tok& t = b[i];
-    if (is_punct(t, "{")) {
-      ++depth;
-      ++i;
-      continue;
-    }
-    if (is_punct(t, "}")) {
-      std::erase_if(locks, [&](const Active& a) { return a.depth >= depth; });
-      --depth;
-      ++i;
-      continue;
-    }
-    if (is_ident(t, "MutexLock")) {
-      std::size_t j = i + 1;
-      std::string var;
-      if (j < b.size() && b[j].kind == Kind::kIdent) {
-        var = b[j].text;
-        ++j;
-      }
-      if (j < b.size() && (is_punct(b[j], "(") || is_punct(b[j], "{"))) {
-        const char* open = b[j].text == "(" ? "(" : "{";
-        const char* close = b[j].text == "(" ? ")" : "}";
-        const std::size_t cend = fwd_match(b, j, open, close);
-        const std::string node = resolve_lock_expr(j + 1, cend);
-        facts.acqs.push_back({node, t.line, held()});
-        locks.push_back({var, node, depth, true});
-        i = std::min(cend + 1, b.size());
-        continue;
-      }
-      ++i;
-      continue;
-    }
-    // `lock.unlock()` / `lock.lock()` on a tracked guard variable.
-    if (t.kind == Kind::kIdent && i + 3 < b.size() && is_punct(b[i + 1], ".") &&
-        (is_ident(b[i + 2], "unlock") || is_ident(b[i + 2], "lock")) &&
-        is_punct(b[i + 3], "(")) {
-      bool toggled = false;
-      for (Active& a : locks) {
-        if (a.var == t.text) {
-          const bool want = b[i + 2].text == "lock";
-          if (want && !a.live) {
-            a.live = false;  // exclude self from held() below
-            std::vector<std::string> h = held();
-            facts.acqs.push_back({a.node, t.line, std::move(h)});
-          }
-          a.live = want;
-          toggled = true;
-        }
-      }
-      if (toggled) {
-        i += 4;
-        continue;
-      }
-    }
-    // Call sites.
-    if (t.kind == Kind::kIdent && i + 1 < b.size() && is_punct(b[i + 1], "(") &&
-        !call_excluded(t.text)) {
-      CallSite c;
-      c.name = t.text;
-      c.line = t.line;
-      c.held = held();
-      if (i >= 2 && (is_punct(b[i - 1], ".") || is_punct(b[i - 1], "->"))) {
-        c.has_recv = true;
-        if (b[i - 2].kind == Kind::kIdent) {
-          const auto it = types.find(b[i - 2].text);
-          if (it != types.end()) c.recv_type = it->second;
-        }
-      } else if (i >= 2 && is_punct(b[i - 1], "::") &&
-                 b[i - 2].kind == Kind::kIdent) {
-        c.qualified = true;
-        c.qual = b[i - 2].text;
-      }
-      facts.calls.push_back(std::move(c));
-      ++i;
-      continue;
-    }
-    ++i;
-  }
-  return facts;
-}
-
-// ---- whole-program method registry -----------------------------------------
-
-using MethodKey = std::pair<std::string, std::string>;  // (class, name)
-
-struct MethodData {
-  bool defined = false;
-  bool abstract = false;
-  bool locking_ann = false;   ///< RDS_EXCLUDES on some declaration
-  bool requires_lock = false; ///< RDS_REQUIRES / *_locked
-  bool returns_result = false;
-  bool declared = false;
-  std::set<std::string> direct;   ///< direct lock nodes from the body
-  std::vector<CallSite> calls;    ///< for transitive closure
-};
-
-struct Registry {
-  std::map<MethodKey, MethodData> methods;
-  std::set<std::string> classes;
-
-  [[nodiscard]] const MethodData* find(const std::string& cls,
-                                       const std::string& name) const {
-    const auto it = methods.find({cls, name});
-    return it == methods.end() ? nullptr : &it->second;
-  }
-
-  /// True when some non-abstract class declares `name` without taking a
-  /// lock: an unknown receiver might be that class, so the edge is
-  /// dropped rather than guessed (no false cycles from name collisions).
-  [[nodiscard]] bool vetoed(const std::string& name,
-                            const std::string& enclosing) const {
-    for (const auto& [key, m] : methods) {
-      if (key.second != name || key.first.empty() || key.first == enclosing) {
-        continue;
-      }
-      if (!m.abstract && !m.locking_ann && !m.requires_lock &&
-          m.direct.empty()) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  [[nodiscard]] std::vector<MethodKey> resolve(
-      const CallSite& c, const std::string& enclosing) const {
-    if (c.qualified) {
-      if (find(c.qual, c.name) != nullptr) return {{c.qual, c.name}};
-      if (find("", c.name) != nullptr) return {{"", c.name}};
-      return {};
-    }
-    if (!c.has_recv) {
-      if (!enclosing.empty() && find(enclosing, c.name) != nullptr) {
-        return {{enclosing, c.name}};
-      }
-      if (find("", c.name) != nullptr) return {{"", c.name}};
-      return {};
-    }
-    if (!c.recv_type.empty()) {
-      if (find(c.recv_type, c.name) != nullptr) {
-        return {{c.recv_type, c.name}};
-      }
-      return {};
-    }
-    // Unknown receiver: candidates are lock-relevant definers elsewhere,
-    // unless a plain definer makes the name ambiguous.
-    if (vetoed(c.name, enclosing)) return {};
-    std::vector<MethodKey> out;
-    for (const auto& [key, m] : methods) {
-      if (key.second != c.name || key.first.empty() ||
-          key.first == enclosing) {
-        continue;
-      }
-      if (m.locking_ann || m.requires_lock || !m.direct.empty() ||
-          m.defined) {
-        out.push_back(key);
-      }
-    }
-    return out;
-  }
-};
-
-/// Transitive lock acquisitions of a method, memoized and cycle-safe.
-class AcquiresClosure {
- public:
-  explicit AcquiresClosure(const Registry& reg) : reg_(reg) {}
-
-  const std::set<std::string>& of(const MethodKey& key) {
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    auto [slot, inserted] = memo_.emplace(key, std::set<std::string>{});
-    if (in_flight_.contains(key)) return slot->second;
-    in_flight_.insert(key);
-    std::set<std::string> acc;
-    const auto mit = reg_.methods.find(key);
-    if (mit != reg_.methods.end()) {
-      const MethodData& m = mit->second;
-      acc = m.direct;
-      if (m.locking_ann && !m.defined && !key.first.empty()) {
-        // Annotated but body unseen: assume it takes its class lock.
-        acc.insert(key.first + "::mu_");
-      }
-      for (const CallSite& c : m.calls) {
-        for (const MethodKey& target : reg_.resolve(c, key.first)) {
-          if (target == key) continue;
-          const std::set<std::string>& sub = of(target);
-          acc.insert(sub.begin(), sub.end());
-        }
-      }
-    }
-    in_flight_.erase(key);
-    memo_[key] = std::move(acc);
-    return memo_[key];
-  }
-
- private:
-  const Registry& reg_;
-  std::map<MethodKey, std::set<std::string>> memo_;
-  std::set<MethodKey> in_flight_;
-};
 
 // ---- lock graph ------------------------------------------------------------
 
@@ -386,224 +73,37 @@ void add_edge(LockGraph& g, const std::string& from, const std::string& to,
   g[from].try_emplace(to, w);
 }
 
-/// Tarjan SCC over the lock graph; any component with >1 node is a
-/// potential deadlock cycle.
-struct Scc {
-  std::map<std::string, int> comp;
-  int count = 0;
-};
-
-Scc tarjan(const LockGraph& g) {
-  std::set<std::string> names;
+/// Component id per lock node, via the generic Tarjan from callgraph.hpp.
+std::map<std::string, int> lock_scc(const LockGraph& g) {
+  std::vector<std::string> names;
   for (const auto& [from, outs] : g) {
-    names.insert(from);
-    for (const auto& [to, w] : outs) names.insert(to);
+    names.push_back(from);
+    for (const auto& [to, w] : outs) names.push_back(to);
   }
-  Scc scc;
-  std::map<std::string, int> index;
-  std::map<std::string, int> low;
-  std::map<std::string, bool> on_stack;
-  std::vector<std::string> stack;
-  int next_index = 0;
-
-  struct Frame {
-    std::string node;
-    std::vector<std::string> succs;
-    std::size_t next = 0;
-  };
-  for (const std::string& root : names) {
-    if (index.contains(root)) continue;
-    std::vector<Frame> call_stack;
-    const auto open = [&](const std::string& v) {
-      index[v] = low[v] = next_index++;
-      stack.push_back(v);
-      on_stack[v] = true;
-      Frame f;
-      f.node = v;
-      const auto it = g.find(v);
-      if (it != g.end()) {
-        for (const auto& [to, w] : it->second) f.succs.push_back(to);
-      }
-      call_stack.push_back(std::move(f));
-    };
-    open(root);
-    while (!call_stack.empty()) {
-      Frame& f = call_stack.back();
-      if (f.next < f.succs.size()) {
-        const std::string w = f.succs[f.next++];
-        if (!index.contains(w)) {
-          open(w);
-        } else if (on_stack[w]) {
-          low[f.node] = std::min(low[f.node], index[w]);
-        }
-      } else {
-        if (low[f.node] == index[f.node]) {
-          while (true) {
-            const std::string v = stack.back();
-            stack.pop_back();
-            on_stack[v] = false;
-            scc.comp[v] = scc.count;
-            if (v == f.node) break;
-          }
-          ++scc.count;
-        }
-        const std::string done = f.node;
-        call_stack.pop_back();
-        if (!call_stack.empty()) {
-          low[call_stack.back().node] =
-              std::min(low[call_stack.back().node], low[done]);
-        }
-      }
-    }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::map<std::string, int> id;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    id[names[i]] = static_cast<int>(i);
   }
-  return scc;
+  std::vector<std::vector<int>> adj(names.size());
+  for (const auto& [from, outs] : g) {
+    for (const auto& [to, w] : outs) adj[id[from]].push_back(id[to]);
+  }
+  const SccResult r = tarjan_scc(names.size(), adj);
+  std::map<std::string, int> comp;
+  for (const std::string& n : names) comp[n] = r.comp[id[n]];
+  return comp;
 }
 
-// ---- CFG reachability ------------------------------------------------------
-
-/// True when EXIT is reachable from `start`'s successors without passing
-/// through a barrier node.  `use_esucc` also follows exception edges of
-/// intermediate nodes; `start_esucc` additionally seeds the search with
-/// the start node's own exception edges.
-template <typename Barrier>
-bool reaches_exit(const Cfg& cfg, int start, bool use_esucc, bool start_esucc,
-                  Barrier barrier) {
-  std::deque<int> q;
-  std::set<int> seen;
-  const auto push = [&](int n) {
-    if (seen.insert(n).second) q.push_back(n);
-  };
-  for (const int s : cfg.nodes[start].succ) push(s);
-  if (start_esucc) {
-    for (const int s : cfg.nodes[start].esucc) push(s);
-  }
-  while (!q.empty()) {
-    const int n = q.front();
-    q.pop_front();
-    if (n == Cfg::kExit) return true;
-    if (barrier(n)) continue;
-    for (const int s : cfg.nodes[n].succ) push(s);
-    if (use_esucc) {
-      for (const int s : cfg.nodes[n].esucc) push(s);
-    }
-  }
-  return false;
-}
-
-/// All nodes reachable from `start` (successors, optionally exception
-/// edges), excluding `start` itself unless revisited through a loop.
-std::vector<int> reachable_after(const Cfg& cfg, int start, bool use_esucc) {
-  std::deque<int> q;
-  std::set<int> seen;
-  const auto push = [&](int n) {
-    if (seen.insert(n).second) q.push_back(n);
-  };
-  for (const int s : cfg.nodes[start].succ) push(s);
-  if (use_esucc) {
-    for (const int s : cfg.nodes[start].esucc) push(s);
-  }
-  std::vector<int> out;
-  while (!q.empty()) {
-    const int n = q.front();
-    q.pop_front();
-    out.push_back(n);
-    for (const int s : cfg.nodes[n].succ) push(s);
-    if (use_esucc) {
-      for (const int s : cfg.nodes[n].esucc) push(s);
-    }
-  }
-  return out;
-}
-
-// ---- rule: journal-protocol ------------------------------------------------
-
-/// Index of the first token of a member-state mutation in [b,e), or
-/// npos.  Members follow the codebase convention of a trailing '_'.
-std::size_t find_member_mutation(const std::vector<Tok>& t, std::size_t b,
-                                 std::size_t e) {
-  static const std::set<std::string> kMutators = {
-      "insert", "erase",   "emplace", "emplace_back", "push_back",
-      "pop_back", "clear", "reset",   "assign",       "push",
-      "pop",    "resize",  "try_emplace"};
-  static const std::set<std::string> kAssign = {
-      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
-  for (std::size_t i = b; i < e && i < t.size(); ++i) {
-    const Tok& tok = t[i];
-    if (tok.kind != Kind::kIdent || tok.text.size() < 2 ||
-        !tok.text.ends_with("_") || tok.text.ends_with("__")) {
-      continue;
-    }
-    if (i > b && t[i - 1].kind == Kind::kPunct &&
-        (t[i - 1].text == "++" || t[i - 1].text == "--")) {
-      return i - 1;
-    }
-    if (i > b && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->") ||
-                  is_punct(t[i - 1], "::"))) {
-      continue;  // x.y_ / Cls::kConst_ -- not a member of *this*
-    }
-    if (i + 1 >= e) continue;
-    const Tok& nx = t[i + 1];
-    if (nx.kind == Kind::kPunct && kAssign.contains(nx.text)) return i;
-    if ((is_punct(nx, ".") || is_punct(nx, "->")) && i + 3 < e &&
-        t[i + 2].kind == Kind::kIdent && is_punct(t[i + 3], "(") &&
-        kMutators.contains(t[i + 2].text)) {
-      return i;
-    }
-    if ((is_punct(nx, ".") || is_punct(nx, "->")) && i + 3 < e &&
-        t[i + 2].kind == Kind::kIdent && t[i + 3].kind == Kind::kPunct &&
-        kAssign.contains(t[i + 3].text)) {
-      return i;
-    }
-  }
-  return static_cast<std::size_t>(-1);
-}
-
-/// Position of an append call inside a node span: a `x->append(` /
-/// `x.append(` whose receiver mentions "journal" or "sink", or a call to
-/// a *journal*_locked / journal_append style helper.  Returns npos when
-/// the node has none.
-std::size_t find_append_call(const std::vector<Tok>& t, std::size_t b,
-                             std::size_t e, std::string* helper_name) {
-  for (std::size_t i = b; i + 1 < e && i + 1 < t.size(); ++i) {
-    if (t[i].kind != Kind::kIdent || !is_punct(t[i + 1], "(")) continue;
-    if (t[i].text == "append" && i >= 2 &&
-        (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
-        t[i - 2].kind == Kind::kIdent) {
-      const std::string recv = lower(t[i - 2].text);
-      if (recv.find("journal") != std::string::npos ||
-          recv.find("sink") != std::string::npos ||
-          recv.find("wal") != std::string::npos) {
-        helper_name->clear();
-        return i;
-      }
-    }
-    const std::string name = lower(t[i].text);
-    if ((name.find("journal") != std::string::npos &&
-         (name.ends_with("_locked") || name.find("append") !=
-                                           std::string::npos)) &&
-        (i < 2 || !(is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")))) {
-      *helper_name = t[i].text;
-      return i;
-    }
-  }
-  return static_cast<std::size_t>(-1);
-}
-
-// ---- registry-facing result ------------------------------------------------
-
-struct AnalysisState {
-  Registry reg;
-  LockGraph graph;
-  std::vector<Finding> findings;
-};
-
-bool mentions(const std::vector<Tok>& t, std::size_t b, std::size_t e,
-              const std::string& name, std::size_t skip) {
-  for (std::size_t i = b; i < e && i < t.size(); ++i) {
-    if (i == skip) continue;
-    if (is_ident(t[i], name)) return true;
-  }
-  return false;
+/// Calls a lambda intro could escape through: thread pools, schedulers,
+/// callbacks -- anything that runs the closure after the caller returns.
+bool escape_call(const std::string& name) {
+  static const std::set<std::string> kEscape = {
+      "submit",   "post",        "enqueue", "dispatch",     "defer",
+      "schedule", "async",       "spawn",   "detach",       "start_thread",
+      "thread",   "set_callback", "then",    "on_complete", "add_task"};
+  return kEscape.contains(lower(name));
 }
 
 }  // namespace
@@ -612,8 +112,10 @@ bool mentions(const std::vector<Tok>& t, std::size_t b, std::size_t e,
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
-      "lock-order", "journal-protocol", "metric-balance", "result-flow",
-      "capacity-arith"};
+      "lock-order",     "journal-protocol",
+      "metric-balance", "result-flow",
+      "capacity-arith", "rcu-escape",
+      "lock-held-across-call", "stale-suppression"};
   return kIds;
 }
 
@@ -645,69 +147,53 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
     return paths_[a] < paths_[b];
   });
 
-  std::vector<FileModel> files;
-  files.reserve(order.size());
+  files_.clear();
+  files_.reserve(order.size());
   for (const std::size_t i : order) {
-    files.push_back(build_file_model(paths_[i], texts_[i]));
+    files_.push_back(build_file_model(paths_[i], texts_[i]));
   }
 
-  AnalysisState st;
-  for (const FileModel& fm : files) {
-    for (const std::string& c : fm.classes) st.reg.classes.insert(c);
+  cg_ = CallGraph::build(files_);
+  sums_ = Summaries::compute(cg_);
+
+  // Functions known to hand back an epoch handle, for source matching.
+  std::set<std::string> epoch_fns = {"placement_snapshot", "copy_locations"};
+  for (const auto& [key, s] : sums_.all()) {
+    if (s.returns_epoch) epoch_fns.insert(key.second);
   }
-  // Registry pass: declarations first, then per-function facts.
-  for (const FileModel& fm : files) {
-    for (const Declaration& d : fm.decls) {
-      MethodData& m = st.reg.methods[{d.cls, d.name}];
-      m.declared = true;
-      m.abstract = m.abstract || d.abstract;
-      m.locking_ann = m.locking_ann || d.locking;
-      m.requires_lock = m.requires_lock || d.requires_lock;
-      m.returns_result = m.returns_result || d.returns_result;
+
+  std::vector<Finding> findings;
+  // Suppression lookup by file path, plus per-comment usage so the
+  // stale-suppression pass can tell live allow() comments from dead ones.
+  std::map<std::string, const Suppressions*> sup_of;
+  for (const FileModel& fm : files_) sup_of[fm.path] = &fm.sup;
+  std::set<std::tuple<std::string, int, std::string>> used_sups;
+  const auto emit = [&](const std::string& file, int line,
+                        const std::string& rule, std::string message) {
+    const auto it = sup_of.find(file);
+    if (it != sup_of.end() && it->second->allows(line, rule)) {
+      used_sups.insert({file, it->second->origin_of(line, rule), rule});
+      return;
     }
-  }
-  std::map<const Function*, FnFacts> all_facts;
-  for (const FileModel& fm : files) {
-    for (const Function& fn : fm.functions) {
-      const MethodData* known = st.reg.find(fn.cls, fn.name);
-      const bool starts_locked =
-          (known != nullptr && known->requires_lock) ||
-          fn.name.ends_with("_locked");
-      const auto types = collect_types(fn, st.reg.classes);
-      const auto local_mutexes = collect_local_mutexes(fn);
-      FnFacts facts = collect_fn_facts(fn, fn.cls, starts_locked, types,
-                                       local_mutexes);
-      MethodData& m = st.reg.methods[{fn.cls, fn.name}];
-      m.defined = true;
-      m.requires_lock = m.requires_lock || fn.name.ends_with("_locked");
-      for (const LockAcq& a : facts.acqs) m.direct.insert(a.node);
-      if (!fn.is_lambda) {
-        // Calls *into* a lambda are not resolvable by name; the lambda
-        // body is analyzed as its own function instead.
-        for (const CallSite& c : facts.calls) m.calls.push_back(c);
-      }
-      all_facts.emplace(&fn, std::move(facts));
-    }
-  }
+    findings.push_back({file, line, rule, std::move(message)});
+  };
 
-  AcquiresClosure closure(st.reg);
-
-  // Lock graph: for every acquisition (direct or via a resolvable call)
-  // add held -> acquired edges.
-  for (const FileModel& fm : files) {
+  // ---- lock graph: direct acquisitions + summary-propagated calls ----------
+  LockGraph graph;
+  for (const FileModel& fm : files_) {
     for (const Function& fn : fm.functions) {
-      const FnFacts& facts = all_facts.at(&fn);
+      const FnFacts& facts = cg_.facts_of(&fn);
       for (const LockAcq& a : facts.acqs) {
         for (const std::string& h : a.held) {
-          add_edge(st.graph, h, a.node, {fm.path, a.line, fn.display});
+          add_edge(graph, h, a.node, {fm.path, a.line, fn.display});
         }
       }
       for (const CallSite& c : facts.calls) {
         if (c.held.empty()) continue;
-        for (const MethodKey& target : st.reg.resolve(c, fn.cls)) {
-          for (const std::string& node : closure.of(target)) {
+        for (const MethodKey& target : cg_.resolve_keys(c, fn.cls)) {
+          for (const std::string& node : sums_.of(target).locks) {
             for (const std::string& h : c.held) {
-              add_edge(st.graph, h, node, {fm.path, c.line, fn.display});
+              add_edge(graph, h, node, {fm.path, c.line, fn.display});
             }
           }
         }
@@ -715,27 +201,17 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
     }
   }
 
-  // Suppression lookup by file path.
-  std::map<std::string, const Suppressions*> sup_of;
-  for (const FileModel& fm : files) sup_of[fm.path] = &fm.sup;
-  const auto emit = [&](const std::string& file, int line,
-                        const std::string& rule, std::string message) {
-    const auto it = sup_of.find(file);
-    if (it != sup_of.end() && it->second->allows(line, rule)) return;
-    st.findings.push_back({file, line, rule, std::move(message)});
-  };
-
   // ---- lock-order findings -------------------------------------------------
   {
-    const Scc scc = tarjan(st.graph);
+    const std::map<std::string, int> comp = lock_scc(graph);
     std::map<int, std::vector<std::string>> members;
-    for (const auto& [node, comp] : scc.comp) members[comp].push_back(node);
+    for (const auto& [node, c] : comp) members[c].push_back(node);
     std::set<int> reported;
-    for (const auto& [from, outs] : st.graph) {
+    for (const auto& [from, outs] : graph) {
       for (const auto& [to, w] : outs) {
-        const auto cf = scc.comp.find(from);
-        const auto ct = scc.comp.find(to);
-        if (cf == scc.comp.end() || ct == scc.comp.end() ||
+        const auto cf = comp.find(from);
+        const auto ct = comp.find(to);
+        if (cf == comp.end() || ct == comp.end() ||
             cf->second != ct->second) {
           continue;
         }
@@ -755,8 +231,8 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
     static const std::vector<std::pair<std::string, std::string>> kOrder = {
         {"StoragePool::mu_", "VirtualDisk::mu_"}};
     for (const auto& [first, second] : kOrder) {
-      const auto it = st.graph.find(second);
-      if (it == st.graph.end()) continue;
+      const auto it = graph.find(second);
+      if (it == graph.end()) continue;
       const auto e = it->second.find(first);
       if (e == it->second.end()) continue;
       emit(e->second.file, e->second.line, "lock-order",
@@ -767,7 +243,7 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
   }
 
   // ---- per-function CFG rules ---------------------------------------------
-  for (const FileModel& fm : files) {
+  for (const FileModel& fm : files_) {
     // Gauge-typed receivers bound in this translation unit.
     std::set<std::string> gauge_vars;
     for (std::size_t i = 0; i + 2 < fm.toks.size(); ++i) {
@@ -790,20 +266,96 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
     for (const Function& fn : fm.functions) {
       const Cfg cfg = build_cfg(fn);
       const std::vector<Tok>& b = fn.body;
+      const FnFacts& facts = cg_.facts_of(&fn);
+
+      // CFG node holding each call site, for summary-aware barriers.
+      const auto node_of_tok = [&](std::size_t tok) -> int {
+        for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
+          if (tok >= cfg.nodes[n].begin && tok < cfg.nodes[n].end) {
+            return static_cast<int>(n);
+          }
+        }
+        return -1;
+      };
+
+      // A mention of a Result local that really consumes it: member
+      // access, negation, return, or passing it to a callee that
+      // consumes its Result parameters.  Handing it to a callee that
+      // provably ignores it does not count.
+      const auto consuming_mention = [&](std::size_t i) {
+        if (i + 1 < b.size() &&
+            (is_punct(b[i + 1], ".") || is_punct(b[i + 1], "->") ||
+             is_punct(b[i + 1], "["))) {
+          return true;
+        }
+        if (i > 0 && (is_punct(b[i - 1], "!") || is_ident(b[i - 1], "return") ||
+                      is_ident(b[i - 1], "co_return"))) {
+          return true;
+        }
+        std::size_t pos = i;
+        for (int hops = 0; hops < 4; ++hops) {
+          const CallSite* encl = nullptr;
+          for (const CallSite& c : facts.calls) {
+            if (c.tok >= pos || c.tok + 1 >= b.size() ||
+                !is_punct(b[c.tok + 1], "(")) {
+              continue;
+            }
+            const std::size_t cend = fwd_match(b, c.tok + 1, "(", ")");
+            if (pos > c.tok + 1 && pos < cend &&
+                (encl == nullptr || c.tok > encl->tok)) {
+              encl = &c;
+            }
+          }
+          if (encl == nullptr) return true;  // bare use in a condition etc.
+          if (encl->name == "move" || encl->name == "forward") {
+            pos = encl->tok;
+            continue;
+          }
+          const std::vector<MethodKey> targets =
+              cg_.resolve_keys(*encl, fn.cls);
+          if (targets.empty()) return true;  // unknown callee: benefit of doubt
+          bool any_result_taking = false;
+          for (const MethodKey& t : targets) {
+            const FnSummary& ts = sums_.of(t);
+            if (!ts.has_result_params) continue;
+            any_result_taking = true;
+            if (ts.consumes_result_params) return true;
+          }
+          return !any_result_taking;
+        }
+        return true;
+      };
 
       // ---- journal-protocol ----
       for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
         const CfgNode& node = cfg.nodes[n];
         std::string helper;
-        const std::size_t ap =
-            find_append_call(b, node.begin, node.end, &helper);
-        if (ap == static_cast<std::size_t>(-1)) continue;
+        std::size_t ap = find_append_call(b, node.begin, node.end, &helper);
+        const MethodInfo* append_target = nullptr;
+        if (ap == kNpos) {
+          // Interprocedural: a same-class helper whose summary reaches a
+          // journal append is a commit point too, whatever its name.
+          for (const CallSite& c : facts.calls) {
+            if (c.tok < node.begin || c.tok >= node.end) continue;
+            for (const MethodKey& t : cg_.resolve_keys(c, fn.cls)) {
+              if (t.first != fn.cls || fn.cls.empty()) continue;
+              if (!sums_.of(t).appends_journal) continue;
+              ap = c.tok;
+              helper = c.name;
+              append_target = cg_.find(t.first, t.second);
+              break;
+            }
+            if (ap != kNpos) break;
+          }
+        }
+        if (ap == kNpos) continue;
         // (a) The append's Result must be consumed.  Helpers that return
         // void (StoragePool::journal_locked throws internally) are exempt.
         bool needs_check = helper.empty();
         if (!helper.empty()) {
-          const MethodData* hm = st.reg.find(fn.cls, helper);
-          if (hm == nullptr) hm = st.reg.find("", helper);
+          const MethodInfo* hm = append_target;
+          if (hm == nullptr) hm = cg_.find(fn.cls, helper);
+          if (hm == nullptr) hm = cg_.find("", helper);
           needs_check = hm != nullptr && hm->returns_result;
         }
         if (needs_check && !node.is_branch) {
@@ -848,7 +400,7 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
                              /*start_esucc=*/false, [&](int m) {
                                const CfgNode& mm = cfg.nodes[m];
                                return mentions(b, mm.begin, mm.end, var,
-                                               static_cast<std::size_t>(-1));
+                                               kNpos);
                              })) {
               emit(fm.path, node.line, "journal-protocol",
                    "journal append result '" + var + "' in " + fn.display +
@@ -864,7 +416,7 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
           const CfgNode& mn = cfg.nodes[m];
           const std::size_t mut =
               find_member_mutation(b, mn.begin, mn.end);
-          if (mut == static_cast<std::size_t>(-1)) continue;
+          if (mut == kNpos) continue;
           emit(fm.path, mn.line, "journal-protocol",
                "state mutation of '" + b[mut].text + "' in " + fn.display +
                    " is reachable after the journal append at line " +
@@ -876,11 +428,22 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
 
       // ---- metric-balance ----
       {
+        // Receivers: locals bound to a gauge() factory, plus member
+        // gauges used with add()/sub() in this function.
+        std::set<std::string> receivers = gauge_vars;
+        for (std::size_t k = 0; k + 3 < b.size(); ++k) {
+          if (member_ident(b, k) &&
+              (is_punct(b[k + 1], ".") || is_punct(b[k + 1], "->")) &&
+              (is_ident(b[k + 2], "add") || is_ident(b[k + 2], "sub")) &&
+              is_punct(b[k + 3], "(")) {
+            receivers.insert(b[k].text);
+          }
+        }
         const auto site_of = [&](const CfgNode& node, const char* what)
             -> std::string {
           for (std::size_t k = node.begin;
                k + 3 < node.end && k + 3 < b.size(); ++k) {
-            if (b[k].kind == Kind::kIdent && gauge_vars.contains(b[k].text) &&
+            if (b[k].kind == Kind::kIdent && receivers.contains(b[k].text) &&
                 (is_punct(b[k + 1], ".") || is_punct(b[k + 1], "->")) &&
                 is_ident(b[k + 2], what) && is_punct(b[k + 3], "(")) {
               return b[k].text;
@@ -889,17 +452,28 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
           return {};
         };
         std::map<std::string, std::vector<int>> adds;
-        std::map<std::string, std::vector<int>> subs;
+        std::map<std::string, std::set<int>> subs;
         for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
           const std::string a = site_of(cfg.nodes[n], "add");
           if (!a.empty()) adds[a].push_back(static_cast<int>(n));
           const std::string s = site_of(cfg.nodes[n], "sub");
-          if (!s.empty()) subs[s].push_back(static_cast<int>(n));
+          if (!s.empty()) subs[s].insert(static_cast<int>(n));
+        }
+        // A callee that sub()s the gauge on all its paths balances the
+        // add at its call site.
+        for (const CallSite& c : facts.calls) {
+          const int n = node_of_tok(c.tok);
+          if (n < 0) continue;
+          for (const MethodKey& t : cg_.resolve_keys(c, fn.cls)) {
+            for (const std::string& g : sums_.of(t).subs_on_all_paths) {
+              subs[g].insert(n);
+            }
+          }
         }
         for (const auto& [var, add_nodes] : adds) {
           const auto sit = subs.find(var);
           if (sit == subs.end()) continue;  // monotonic gauge: no pairing
-          const std::set<int> sub_set(sit->second.begin(), sit->second.end());
+          const std::set<int>& sub_set = sit->second;
           for (const int a : add_nodes) {
             // The add itself does not throw; everything after it may.
             if (reaches_exit(cfg, a, /*use_esucc=*/true,
@@ -918,7 +492,7 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
       // ---- result-flow ----
       for (std::size_t n = 2; n < cfg.nodes.size(); ++n) {
         const CfgNode& node = cfg.nodes[n];
-        std::size_t def = static_cast<std::size_t>(-1);
+        std::size_t def = kNpos;
         std::string var;
         for (std::size_t k = node.begin; k + 1 < node.end && k + 1 < b.size();
              ++k) {
@@ -934,22 +508,190 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
             }
             if (is_punct(b[j], ";")) break;
           }
-          if (def != static_cast<std::size_t>(-1)) break;
+          if (def != kNpos) break;
         }
-        if (def == static_cast<std::size_t>(-1)) continue;
+        if (def == kNpos) continue;
         // Inspected within the defining statement (if-init etc.)?
-        if (mentions(b, def + 1, node.end, var, static_cast<std::size_t>(-1))) {
+        if (mentions(b, def + 1, node.end, var, kNpos)) {
           continue;
         }
+        const auto consuming_in = [&](std::size_t from, std::size_t to) {
+          for (std::size_t k = from; k < to && k < b.size(); ++k) {
+            if (is_ident(b[k], var) && consuming_mention(k)) return true;
+          }
+          return false;
+        };
         if (reaches_exit(cfg, static_cast<int>(n), /*use_esucc=*/false,
                          /*start_esucc=*/false, [&](int m) {
                            const CfgNode& mm = cfg.nodes[m];
-                           return mentions(b, mm.begin, mm.end, var,
-                                           static_cast<std::size_t>(-1));
+                           return consuming_in(mm.begin, mm.end);
                          })) {
           emit(fm.path, node.line, "result-flow",
                "Result from try_* stored in '" + var + "' in " + fn.display +
                    " is dropped on some path without being inspected");
+        }
+      }
+
+      // ---- rcu-escape ----
+      {
+        const std::set<std::string> epoch_vars =
+            collect_epoch_vars(fn, cg_, sums_);
+        const auto epoch_handle_in = [&](std::size_t from,
+                                         std::size_t to) -> std::string {
+          for (std::size_t k = from; k < to && k < b.size(); ++k) {
+            if (b[k].kind == Kind::kIdent && epoch_vars.contains(b[k].text) &&
+                handle_use(b, k)) {
+              return b[k].text;
+            }
+          }
+          if (epoch_source_in(b, from, to, cg_.rcu_members(), epoch_fns)) {
+            return "<rcu read>";
+          }
+          return {};
+        };
+        // Default-capture lambdas in [from,to) whose (excised) body uses
+        // an epoch variable of this function.
+        const auto lambda_capture_in = [&](std::size_t from,
+                                           std::size_t to) -> std::string {
+          for (std::size_t k = from; k < to && k < b.size(); ++k) {
+            if (!is_punct(b[k], "[")) continue;
+            const std::size_t cap_end = fwd_match(b, k, "[", "]");
+            for (std::size_t j = k + 1; j < cap_end && j < b.size(); ++j) {
+              if (b[j].kind == Kind::kIdent &&
+                  epoch_vars.contains(b[j].text)) {
+                return b[j].text;
+              }
+            }
+            const bool default_cap =
+                k + 1 < b.size() &&
+                (is_punct(b[k + 1], "&") || is_punct(b[k + 1], "="));
+            if (!default_cap) continue;
+            for (const Function& l : fm.functions) {
+              if (!l.is_lambda ||
+                  !l.name.starts_with(fn.name + "::lambda@") ||
+                  l.line < b[k].line) {
+                continue;
+              }
+              for (const std::string& v : epoch_vars) {
+                if (mentions(l.body, 0, l.body.size(), v, kNpos)) return v;
+              }
+            }
+          }
+          return {};
+        };
+
+        static const std::set<std::string> kStoreMutators = {
+            "insert", "emplace", "emplace_back", "push_back",
+            "push",   "assign",  "try_emplace",  "reset"};
+        for (std::size_t k = 0; k + 1 < b.size(); ++k) {
+          if (!member_ident(b, k)) continue;
+          if (cg_.rcu_members().contains(b[k].text)) continue;  // publishing
+          if (is_punct(b[k + 1], "=")) {
+            std::size_t stmt_end = k + 2;
+            while (stmt_end < b.size() && !is_punct(b[stmt_end], ";")) {
+              ++stmt_end;
+            }
+            std::string v = epoch_handle_in(k + 2, stmt_end);
+            if (v.empty()) v = lambda_capture_in(k + 2, stmt_end);
+            if (!v.empty()) {
+              emit(fm.path, b[k].line, "rcu-escape",
+                   "epoch-guarded pointer '" + v + "' is stored in member '" +
+                       b[k].text + "' in " + fn.display +
+                       "; the member outlives the epoch -- copy the data or "
+                       "re-read the snapshot where it is used");
+            }
+          } else if ((is_punct(b[k + 1], ".") || is_punct(b[k + 1], "->")) &&
+                     k + 3 < b.size() && b[k + 2].kind == Kind::kIdent &&
+                     kStoreMutators.contains(b[k + 2].text) &&
+                     is_punct(b[k + 3], "(")) {
+            const std::size_t close = fwd_match(b, k + 3, "(", ")");
+            const std::string v = epoch_handle_in(k + 4, close);
+            if (!v.empty()) {
+              emit(fm.path, b[k].line, "rcu-escape",
+                   "epoch-guarded pointer '" + v + "' is stored in member '" +
+                       b[k].text + "' in " + fn.display +
+                       "; the member outlives the epoch -- copy the data or "
+                       "re-read the snapshot where it is used");
+            }
+          }
+        }
+        // Captured by a lambda handed to a scheduler/thread/callback slot.
+        for (const CallSite& c : facts.calls) {
+          if (!escape_call(c.name) || c.tok + 1 >= b.size() ||
+              !is_punct(b[c.tok + 1], "(")) {
+            continue;
+          }
+          const std::size_t close = fwd_match(b, c.tok + 1, "(", ")");
+          std::string v;
+          for (std::size_t k = c.tok + 2; k < close && k < b.size(); ++k) {
+            if (!is_punct(b[k], "[")) continue;
+            const std::size_t cap_end = fwd_match(b, k, "[", "]");
+            for (std::size_t j = k + 1; j < cap_end && j < b.size(); ++j) {
+              if (b[j].kind == Kind::kIdent &&
+                  epoch_vars.contains(b[j].text)) {
+                v = b[j].text;
+                break;
+              }
+            }
+            if (v.empty() && k + 1 < b.size() &&
+                (is_punct(b[k + 1], "&") || is_punct(b[k + 1], "="))) {
+              v = lambda_capture_in(k, cap_end + 1);
+            }
+            if (!v.empty()) break;
+          }
+          if (!v.empty()) {
+            emit(fm.path, c.line, "rcu-escape",
+                 "epoch-guarded pointer '" + v +
+                     "' is captured by a lambda passed to '" + c.name +
+                     "' in " + fn.display +
+                     "; the closure may run after the epoch is retired");
+          }
+        }
+        // Returned as a raw view past the guard scope.
+        const MethodInfo* mi = cg_.find(fn.cls, fn.name);
+        if (mi != nullptr && mi->returns_raw && !epoch_vars.empty()) {
+          for (std::size_t k = 0; k < b.size(); ++k) {
+            if (!is_ident(b[k], "return") && !is_ident(b[k], "co_return")) {
+              continue;
+            }
+            std::size_t stmt_end = k + 1;
+            while (stmt_end < b.size() && !is_punct(b[stmt_end], ";")) {
+              ++stmt_end;
+            }
+            for (std::size_t j = k + 1; j < stmt_end; ++j) {
+              if (b[j].kind == Kind::kIdent &&
+                  epoch_vars.contains(b[j].text)) {
+                emit(fm.path, b[j].line, "rcu-escape",
+                     "returning a raw view into epoch-guarded snapshot '" +
+                         b[j].text + "' from " + fn.display +
+                         "; the epoch may be retired once the caller's "
+                         "guard scope ends -- return a copy or the shared "
+                         "handle");
+                break;
+              }
+            }
+          }
+        }
+      }
+
+      // ---- lock-held-across-call ----
+      for (const BlockingOp& op : facts.blocking) {
+        if (op.held.empty()) continue;
+        emit(fm.path, op.line, "lock-held-across-call",
+             "blocking " + op.desc + " while holding " + join(op.held) +
+                 " in " + fn.display +
+                 "; every waiter on the mutex stalls behind the I/O -- "
+                 "move the operation outside the critical section");
+      }
+      for (const CallSite& c : facts.calls) {
+        if (c.held.empty()) continue;
+        for (const MethodKey& t : cg_.resolve_keys(c, fn.cls)) {
+          const FnSummary& ts = sums_.of(t);
+          if (!ts.blocking_unguarded || !ts.required.empty()) continue;
+          emit(fm.path, c.line, "lock-held-across-call",
+               "call into " + display_of(t) + " (" + ts.blocking_desc +
+                   ") while holding " + join(c.held) + " in " + fn.display +
+                   "; the callee blocks with the caller's lock held");
         }
       }
     }
@@ -1068,9 +810,38 @@ std::vector<Finding> Analyzer::run(const Options& opts) {
     }
   }
 
+  // ---- result-flow: Result parameters a callee never consumes --------------
+  for (const auto& [key, m] : cg_.methods()) {
+    if (m.result_params.empty() || m.defs.empty() || m.is_lambda) continue;
+    const FnSummary& s = sums_.of(key);
+    if (!s.has_result_params || s.consumes_result_params) continue;
+    emit(m.def_files.front()->path, m.defs.front()->line, "result-flow",
+         "Result parameter(s) " + join(m.result_params) + " of " +
+             display_of(key) +
+             " are not inspected on every path; consume or propagate them");
+  }
+
+  // ---- stale-suppression ---------------------------------------------------
+  // Needs every family's verdict, so it only runs without a rule filter.
+  if (opts.only_rules.empty()) {
+    std::set<std::string> ours(rule_ids().begin(), rule_ids().end());
+    ours.erase("stale-suppression");
+    for (const FileModel& fm : files_) {
+      for (const auto& [cline, rules] : fm.sup.declared) {
+        for (const std::string& rule : rules) {
+          if (!ours.contains(rule)) continue;  // another tool's rule id
+          if (used_sups.contains({fm.path, cline, rule})) continue;
+          emit(fm.path, cline, "stale-suppression",
+               "suppression 'allow(" + rule +
+                   ")' matches no " + rule + " finding; remove it");
+        }
+      }
+    }
+  }
+
   // ---- filtering + ordering -------------------------------------------------
   std::vector<Finding> out;
-  for (Finding& f : st.findings) {
+  for (Finding& f : findings) {
     if (!opts.only_rules.empty() &&
         std::find(opts.only_rules.begin(), opts.only_rules.end(), f.rule) ==
             opts.only_rules.end()) {

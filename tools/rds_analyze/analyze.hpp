@@ -1,21 +1,39 @@
 #pragma once
 
-/// rds_analyze: flow-aware static analysis for this repository
-/// (docs/static_analysis.md).  Five whole-program / per-function rule
-/// families on top of the lexer + CFG layers:
+/// rds_analyze: flow-aware, whole-program static analysis for this
+/// repository (docs/static_analysis.md).  Eight rule families on top of
+/// the lexer + CFG + call-graph + summary layers:
 ///
-///   lock-order       cycles in the mutex acquisition graph, and
-///                    volume->pool inversions of the documented
-///                    pool->volume order (storage_pool.hpp)
-///   journal-protocol the journal append is the commit point: its Result
-///                    is checked on every path and no state mutation is
-///                    reachable after an append (docs/persistence.md)
-///   metric-balance   every gauge add() is matched by a sub() on all
-///                    outgoing paths, exception edges included
-///   result-flow      a Result from a try_* call stored in a local is
-///                    inspected on every (non-exceptional) path
-///   capacity-arith   unchecked +/* on capacity values outside
-///                    src/util/checked_math.hpp
+///   lock-order            cycles in the mutex acquisition graph
+///                         (summary-propagated through calls), and
+///                         volume->pool inversions of the documented
+///                         pool->volume order (storage_pool.hpp)
+///   journal-protocol      the journal append is the commit point: its
+///                         Result is checked on every path and no state
+///                         mutation is reachable after an append, even
+///                         when the append hides inside a callee
+///                         (docs/persistence.md)
+///   metric-balance        every gauge add() is matched by a sub() on
+///                         all outgoing paths, exception edges included;
+///                         a callee that sub()s on all its paths credits
+///                         the caller
+///   result-flow           a Result from a try_* call stored in a local
+///                         is inspected on every path; passing it to a
+///                         callee only counts when the callee consumes
+///                         its Result parameters, and a function taking
+///                         a Result parameter must consume it
+///   capacity-arith        unchecked +/* on capacity values outside
+///                         src/util/checked_math.hpp
+///   rcu-escape            an epoch-guarded pointer (RcuCell read,
+///                         placement_snapshot, copy_locations) must not
+///                         be stored in a member, captured by an
+///                         escaping lambda, or returned as a raw view
+///   lock-held-across-call blocking operations (journal append, fsync,
+///                         sleep, thread join) while a mutex is held --
+///                         directly or through a call whose callee
+///                         blocks without a lock of its own
+///   stale-suppression     a `// rds_lint: allow(rule)` comment that no
+///                         longer matches any finding of this tool
 ///
 /// `// rds_lint: allow(rule) -- reason` suppressions carry over from
 /// rds_lint unchanged.
@@ -23,6 +41,9 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tools/rds_analyze/callgraph.hpp"
+#include "tools/rds_analyze/summary.hpp"
 
 namespace rds::analyze {
 
@@ -34,7 +55,8 @@ struct Finding {
 };
 
 struct Options {
-  /// When non-empty, only run these rule ids.
+  /// When non-empty, only run these rule ids.  stale-suppression needs
+  /// every rule's verdict and therefore only runs with an empty filter.
   std::vector<std::string> only_rules;
 };
 
@@ -42,8 +64,9 @@ struct Options {
 [[nodiscard]] const std::vector<std::string>& rule_ids();
 
 /// Whole-program analyzer: feed it every translation unit, then run().
-/// Cross-file state (the lock acquisition graph, the method registry) is
-/// built over everything added; per-function rules run per file.
+/// Cross-file state (the call graph, summaries, the lock acquisition
+/// graph) is built over everything added; per-function rules run per
+/// file against the whole-program summaries.
 class Analyzer {
  public:
   /// Analyze in-memory text under the given path (fixtures, tests).
@@ -59,10 +82,18 @@ class Analyzer {
     return io_errors_;
   }
 
+  /// The call graph / summaries of the last run() (for --emit-callgraph
+  /// and the tests); empty before the first run.
+  [[nodiscard]] const CallGraph& callgraph() const { return cg_; }
+  [[nodiscard]] const Summaries& summaries() const { return sums_; }
+
  private:
   std::vector<std::string> paths_;
   std::vector<std::string> texts_;
   std::vector<std::string> io_errors_;
+  std::vector<FileModel> files_;  ///< stable: cg_ points into it
+  CallGraph cg_;
+  Summaries sums_;
 };
 
 /// One-shot single-file convenience used by the fixture tests.

@@ -1,6 +1,7 @@
 #include "tools/rds_analyze/cfg.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <set>
 #include <utility>
 
@@ -155,6 +156,56 @@ bool has_ident(const std::vector<const Tok*>& decl, std::string_view name) {
   });
 }
 
+/// Identifiers never naming a class in a return type position.
+bool is_type_noise(const std::string& s) {
+  static const std::set<std::string> kNoise = {
+      "const",    "static",   "inline",    "virtual", "explicit",
+      "friend",   "nodiscard", "constexpr", "noexcept", "unsigned",
+      "signed",   "long",     "short",     "int",     "bool",
+      "void",     "auto",     "double",    "float",   "char",
+      "typename", "template", "class",     "struct",  "std",
+      "override", "final",    "operator",  "maybe_unused"};
+  return kNoise.contains(s);
+}
+
+/// Names of `Result`-typed parameters in decl's parameter list: for each
+/// top-level comma-separated parameter mentioning `Result`, the last
+/// identifier is the parameter name (`const Result<T>& r` -> "r").
+std::vector<std::string> collect_result_params(
+    const std::vector<const Tok*>& decl, std::size_t paren) {
+  std::vector<std::string> out;
+  if (paren >= decl.size()) return out;
+  int par = 0;
+  int angle = 0;
+  bool has_result = false;
+  std::string last_ident;
+  for (std::size_t i = paren; i < decl.size(); ++i) {
+    const Tok& t = *decl[i];
+    if (t.text == "(") ++par;
+    if (t.text == "<") ++angle;
+    if (t.text == ">") --angle;
+    if (t.text == ">>") angle -= 2;
+    const bool param_end =
+        (t.text == "," && par == 1 && angle <= 0) ||
+        (t.text == ")" && par == 1);
+    if (param_end) {
+      if (has_result && !last_ident.empty() && last_ident != "Result") {
+        out.push_back(last_ident);
+      }
+      has_result = false;
+      last_ident.clear();
+      if (t.text == ")") break;
+      continue;
+    }
+    if (t.text == ")") --par;
+    if (t.kind == Kind::kIdent && par >= 1) {
+      if (t.text == "Result") has_result = true;
+      if (angle <= 0 && !is_type_noise(t.text)) last_ident = t.text;
+    }
+  }
+  return out;
+}
+
 Declaration make_declaration(const std::vector<const Tok*>& decl,
                              const std::string& enclosing_cls) {
   const FnSig sig = fn_signature(decl);
@@ -169,12 +220,63 @@ Declaration make_declaration(const std::vector<const Tok*>& decl,
   d.requires_lock =
       has_ident(decl, "RDS_REQUIRES") || d.name.ends_with("_locked");
   for (std::size_t i = 0; i < sig.paren && i < decl.size(); ++i) {
-    if (decl[i]->kind == Kind::kIdent && decl[i]->text == "Result") {
-      d.returns_result = true;
-      break;
+    const Tok& t = *decl[i];
+    if (t.kind == Kind::kIdent && t.text == "Result") d.returns_result = true;
+    if (t.kind == Kind::kPunct && (t.text == "*" || t.text == "&")) {
+      d.returns_raw = true;
+    }
+    if (t.kind == Kind::kIdent && !is_type_noise(t.text) &&
+        t.text != d.name && t.text != d.cls) {
+      d.ret_idents.push_back(t.text);
     }
   }
+  if (has_ident(decl, "shared_ptr") || has_ident(decl, "unique_ptr")) {
+    d.returns_raw = false;  // owning smart pointer, not a borrowed view
+  }
+  // RDS_REQUIRES(mu_, other_mu_): capture the named locks.
+  for (std::size_t i = 0; i + 1 < decl.size(); ++i) {
+    if (decl[i]->kind != Kind::kIdent || decl[i]->text != "RDS_REQUIRES" ||
+        decl[i + 1]->text != "(") {
+      continue;
+    }
+    for (std::size_t j = i + 2; j < decl.size() && decl[j]->text != ")"; ++j) {
+      if (decl[j]->kind == Kind::kIdent) {
+        d.required_locks.push_back(decl[j]->text);
+      }
+    }
+  }
+  d.result_params = collect_result_params(decl, sig.paren);
   return d;
+}
+
+/// Direct base-class names from a class-head declaration: the identifier
+/// ending each base-specifier in the clause after ':'.
+std::vector<std::string> base_classes_of(const std::vector<const Tok*>& decl) {
+  std::vector<std::string> bases;
+  std::size_t i = 0;
+  while (i < decl.size() && decl[i]->text != ":") ++i;
+  if (i >= decl.size()) return bases;
+  int angle = 0;
+  std::string last_ident;
+  for (++i; i < decl.size(); ++i) {
+    const Tok& t = *decl[i];
+    if (t.text == "<") ++angle;
+    if (t.text == ">") --angle;
+    if (t.text == ">>") angle -= 2;
+    if (angle > 0) continue;
+    if (t.text == ",") {
+      if (!last_ident.empty()) bases.push_back(last_ident);
+      last_ident.clear();
+      continue;
+    }
+    if (t.kind == Kind::kIdent && t.text != "public" &&
+        t.text != "protected" && t.text != "private" &&
+        t.text != "virtual" && t.text != "std") {
+      last_ident = t.text;
+    }
+  }
+  if (!last_ident.empty()) bases.push_back(last_ident);
+  return bases;
 }
 
 /// Copies the code tokens of [begin, end) into a flat body, extracting
@@ -292,7 +394,11 @@ FileModel build_file_model(std::string path, std::string_view text) {
           break;
         case DeclKind::kClass: {
           std::string name = class_name_of(decl);
-          if (!name.empty()) fm.classes.push_back(name);
+          if (!name.empty()) {
+            fm.classes.push_back(name);
+            std::vector<std::string> bases = base_classes_of(decl);
+            if (!bases.empty()) fm.bases[name] = std::move(bases);
+          }
           scopes.push_back({ScopeEnt::kClass, std::move(name)});
           break;
         }
@@ -629,5 +735,54 @@ class Builder {
 }  // namespace
 
 Cfg build_cfg(const Function& fn) { return Builder(fn.body).build(); }
+
+// ---- CFG reachability ------------------------------------------------------
+
+bool reaches_exit(const Cfg& cfg, int start, bool use_esucc, bool start_esucc,
+                  const std::function<bool(int)>& barrier) {
+  std::deque<int> q;
+  std::set<int> seen;
+  const auto push = [&](int n) {
+    if (seen.insert(n).second) q.push_back(n);
+  };
+  for (const int s : cfg.nodes[start].succ) push(s);
+  if (start_esucc) {
+    for (const int s : cfg.nodes[start].esucc) push(s);
+  }
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop_front();
+    if (n == Cfg::kExit) return true;
+    if (barrier(n)) continue;
+    for (const int s : cfg.nodes[n].succ) push(s);
+    if (use_esucc) {
+      for (const int s : cfg.nodes[n].esucc) push(s);
+    }
+  }
+  return false;
+}
+
+std::vector<int> reachable_after(const Cfg& cfg, int start, bool use_esucc) {
+  std::deque<int> q;
+  std::set<int> seen;
+  const auto push = [&](int n) {
+    if (seen.insert(n).second) q.push_back(n);
+  };
+  for (const int s : cfg.nodes[start].succ) push(s);
+  if (use_esucc) {
+    for (const int s : cfg.nodes[start].esucc) push(s);
+  }
+  std::vector<int> out;
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop_front();
+    out.push_back(n);
+    for (const int s : cfg.nodes[n].succ) push(s);
+    if (use_esucc) {
+      for (const int s : cfg.nodes[n].esucc) push(s);
+    }
+  }
+  return out;
+}
 
 }  // namespace rds::analyze

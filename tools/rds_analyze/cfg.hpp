@@ -13,6 +13,9 @@
 /// enclosing function's token stream, so a rule never sees a lambda's
 /// statements as if they executed inline at the definition site.
 
+#include <cstddef>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -41,6 +44,10 @@ struct Declaration {
   bool locking = false;        ///< RDS_EXCLUDES(...) on the declaration
   bool requires_lock = false;  ///< RDS_REQUIRES(...) or a *_locked name
   bool returns_result = false;  ///< return type mentions Result
+  bool returns_raw = false;  ///< return type has * or & (non-owning view)
+  std::vector<std::string> required_locks;  ///< RDS_REQUIRES(...) arguments
+  std::vector<std::string> ret_idents;  ///< identifiers in the return type
+  std::vector<std::string> result_params;  ///< names of Result-typed params
 };
 
 /// Everything rds_analyze keeps per translation unit.
@@ -51,6 +58,8 @@ struct FileModel {
   std::vector<Function> functions;
   std::vector<Declaration> decls;
   std::vector<std::string> classes;  ///< class/struct names seen in this file
+  /// class -> direct base classes (`class D : public B` base clauses).
+  std::map<std::string, std::vector<std::string>> bases;
 };
 
 [[nodiscard]] FileModel build_file_model(std::string path,
@@ -77,5 +86,17 @@ struct Cfg {
 };
 
 [[nodiscard]] Cfg build_cfg(const Function& fn);
+
+/// True when EXIT is reachable from `start` without passing through a
+/// node for which `barrier` returns true.  `use_esucc` follows exception
+/// edges too; `start_esucc` additionally seeds the walk with `start`'s
+/// own exception successors (the statement itself may throw).
+[[nodiscard]] bool reaches_exit(const Cfg& cfg, int start, bool use_esucc,
+                                bool start_esucc,
+                                const std::function<bool(int)>& barrier);
+
+/// Every node reachable strictly after `start` (successors onward).
+[[nodiscard]] std::vector<int> reachable_after(const Cfg& cfg, int start,
+                                               bool use_esucc);
 
 }  // namespace rds::analyze

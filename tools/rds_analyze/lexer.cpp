@@ -205,10 +205,16 @@ Suppressions collect_suppressions(const std::vector<Tok>& toks) {
       };
       strip(rule);
       if (rule.empty()) continue;
+      sup.declared[t.line].insert(rule);
       sup.by_line[t.line].insert(rule);
+      sup.origin.emplace(std::pair<int, std::string>{t.line, rule}, t.line);
       if (!code_lines.contains(t.line)) {
         const auto next = code_lines.upper_bound(t.line);
-        if (next != code_lines.end()) sup.by_line[*next].insert(rule);
+        if (next != code_lines.end()) {
+          sup.by_line[*next].insert(rule);
+          sup.origin.emplace(std::pair<int, std::string>{*next, rule},
+                             t.line);
+        }
       }
     }
   }

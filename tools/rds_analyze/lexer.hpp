@@ -12,6 +12,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rds::analyze {
@@ -33,10 +34,22 @@ struct Tok {
 /// mandatory; a standalone comment also covers the next code line.
 struct Suppressions {
   std::map<int, std::set<std::string>> by_line;
+  /// (covered line, rule) -> line of the comment that granted it, so a
+  /// match on any covered line marks the whole comment as used.
+  std::map<std::pair<int, std::string>, int> origin;
+  /// comment line -> rules it names; the stale-suppression pass walks
+  /// this to find allow() comments that no longer match any finding.
+  std::map<int, std::set<std::string>> declared;
 
   [[nodiscard]] bool allows(int line, const std::string& rule) const {
     const auto it = by_line.find(line);
     return it != by_line.end() && it->second.contains(rule);
+  }
+
+  /// Comment line that makes `allows(line, rule)` true, or -1.
+  [[nodiscard]] int origin_of(int line, const std::string& rule) const {
+    const auto it = origin.find({line, rule});
+    return it == origin.end() ? -1 : it->second;
   }
 };
 

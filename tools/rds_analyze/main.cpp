@@ -8,6 +8,9 @@
 //     --baseline <file>      tolerate findings listed in <file> (ratchet)
 //     --emit-baseline <file> write the current findings as the baseline
 //     --sarif <file>         also write SARIF 2.1.0 to <file>
+//     --emit-callgraph <f>   dump the resolved call graph to <f>
+//                            (Graphviz DOT when <f> ends in .dot,
+//                            JSON otherwise)
 //
 // Paths may be files or directories (recursed, skipping build/ and
 // hidden directories).  Exit codes: 0 clean (or fully baselined),
@@ -29,7 +32,8 @@ int usage() {
   std::cerr
       << "usage: rds_analyze [--rule id]... [--root dir] [-p compile_db]\n"
          "                   [--baseline file] [--emit-baseline file]\n"
-         "                   [--sarif file] [--list-rules] [path...]\n";
+         "                   [--sarif file] [--emit-callgraph file]\n"
+         "                   [--list-rules] [path...]\n";
   return 2;
 }
 
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string emit_baseline_path;
   std::string sarif_path;
+  std::string callgraph_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -111,6 +116,12 @@ int main(int argc, char** argv) {
       sarif_path = v;
       continue;
     }
+    if (arg == "--emit-callgraph") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      callgraph_path = v;
+      continue;
+    }
     if (!arg.empty() && arg.front() == '-') return usage();
     paths.push_back(arg);
   }
@@ -139,6 +150,27 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<Finding> findings = analyzer.run(opts);
+
+  if (!callgraph_path.empty()) {
+    const bool dot = callgraph_path.ends_with(".dot");
+    const std::string text =
+        dot ? rds::analyze::callgraph_to_dot(analyzer.callgraph(),
+                                             analyzer.summaries())
+            : rds::analyze::callgraph_to_json(analyzer.callgraph(),
+                                              analyzer.summaries());
+    if (!write_file(callgraph_path, text)) {
+      std::cerr << "rds_analyze: cannot write " << callgraph_path << "\n";
+      return 2;
+    }
+    std::size_t edge_count = 0;
+    for (const auto& [from, outs] : analyzer.callgraph().edges()) {
+      edge_count += outs.size();
+    }
+    std::cout << "rds_analyze: callgraph with "
+              << analyzer.callgraph().methods().size() << " method(s), "
+              << edge_count << " edge(s) written to " << callgraph_path
+              << "\n";
+  }
 
   if (!emit_baseline_path.empty()) {
     const std::string text = rds::analyze::format_baseline(findings, root);

@@ -132,6 +132,92 @@ std::vector<Finding> new_findings(const std::vector<Finding>& findings,
   return out;
 }
 
+std::string callgraph_to_dot(const CallGraph& cg, const Summaries& sums) {
+  const auto display = [](const MethodKey& k) {
+    return k.first.empty() ? k.second : k.first + "::" + k.second;
+  };
+  std::ostringstream out;
+  out << "digraph rds_callgraph {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=box, fontsize=10];\n";
+  for (const auto& [key, m] : cg.methods()) {
+    const FnSummary& s = sums.of(key);
+    std::string attrs;
+    if (!s.locks.empty()) {
+      attrs += "\\nlocks:";
+      for (const std::string& l : s.locks) attrs += " " + l;
+    }
+    if (s.appends_journal) attrs += "\\njournal";
+    if (s.returns_epoch) attrs += "\\nepoch";
+    if (s.blocking_unguarded) attrs += "\\nblocking";
+    out << "  \"" << display(key) << "\" [label=\"" << display(key) << attrs
+        << "\"";
+    if (!m.defined) out << ", style=dotted";
+    out << "];\n";
+  }
+  for (const auto& [from, outs] : cg.edges()) {
+    for (const CallEdge& e : outs) {
+      out << "  \"" << display(from) << "\" -> \"" << display(e.to) << "\"";
+      if (e.kind != EdgeKind::kDirect) {
+        out << " [style=dashed, label=\"" << edge_kind_name(e.kind) << "\"]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string callgraph_to_json(const CallGraph& cg, const Summaries& sums) {
+  const auto display = [](const MethodKey& k) {
+    return k.first.empty() ? k.second : k.first + "::" + k.second;
+  };
+  std::ostringstream out;
+  out << "{\n  \"methods\": [";
+  bool first = true;
+  for (const auto& [key, m] : cg.methods()) {
+    const FnSummary& s = sums.of(key);
+    out << (first ? "\n" : ",\n") << "    {\"name\": \""
+        << json_escape(display(key)) << "\", \"defined\": "
+        << (m.defined ? "true" : "false") << ", \"locks\": [";
+    bool f2 = true;
+    for (const std::string& l : s.locks) {
+      out << (f2 ? "" : ", ") << "\"" << json_escape(l) << "\"";
+      f2 = false;
+    }
+    out << "], \"appends_journal\": " << (s.appends_journal ? "true" : "false")
+        << ", \"returns_epoch\": " << (s.returns_epoch ? "true" : "false")
+        << ", \"blocking_unguarded\": "
+        << (s.blocking_unguarded ? "true" : "false") << "}";
+    first = false;
+  }
+  out << "\n  ],\n  \"edges\": [";
+  first = true;
+  for (const auto& [from, outs] : cg.edges()) {
+    for (const CallEdge& e : outs) {
+      out << (first ? "\n" : ",\n") << "    {\"from\": \""
+          << json_escape(display(from)) << "\", \"to\": \""
+          << json_escape(display(e.to)) << "\", \"kind\": \""
+          << edge_kind_name(e.kind) << "\", \"line\": " << e.line << "}";
+      first = false;
+    }
+  }
+  out << "\n  ],\n  \"sccs\": [";
+  first = true;
+  for (const auto& scc : cg.sccs()) {
+    out << (first ? "\n" : ",\n") << "    [";
+    bool f2 = true;
+    for (const MethodKey& k : scc) {
+      out << (f2 ? "" : ", ") << "\"" << json_escape(display(k)) << "\"";
+      f2 = false;
+    }
+    out << "]";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
 std::vector<std::string> collect_sources(
     const std::vector<std::string>& paths) {
   const auto analyzable = [](const std::filesystem::path& p) {

@@ -196,10 +196,22 @@ std::vector<Tok> tokenize(std::string_view s) {
 /// holds code (skipping blank and comment-only lines).
 struct Suppressions {
   std::map<int, std::set<std::string>> by_line;
+  /// (covered line, rule) -> line of the granting comment, so a match on
+  /// any covered line marks the whole comment as used.
+  std::map<std::pair<int, std::string>, int> origin;
+  /// comment line -> rules it names; the stale-suppression pass walks
+  /// this to find allow() comments that no longer match any finding.
+  std::map<int, std::set<std::string>> declared;
 
   [[nodiscard]] bool allows(int line, const std::string& rule) const {
     const auto it = by_line.find(line);
     return it != by_line.end() && it->second.contains(rule);
+  }
+
+  /// Comment line that makes `allows(line, rule)` true, or -1.
+  [[nodiscard]] int origin_of(int line, const std::string& rule) const {
+    const auto it = origin.find({line, rule});
+    return it == origin.end() ? -1 : it->second;
   }
 };
 
@@ -236,9 +248,14 @@ Suppressions collect_suppressions(const std::vector<Tok>& toks) {
       strip(rule);
       if (rule.empty()) continue;
       sup.by_line[t.line].insert(rule);
+      sup.declared[t.line].insert(rule);
+      sup.origin[{t.line, rule}] = t.line;
       if (!code_lines.contains(t.line)) {
         const auto next = code_lines.upper_bound(t.line);
-        if (next != code_lines.end()) sup.by_line[*next].insert(rule);
+        if (next != code_lines.end()) {
+          sup.by_line[*next].insert(rule);
+          sup.origin[{*next, rule}] = t.line;
+        }
       }
     }
   }
@@ -327,7 +344,8 @@ bool ends_with_any(const std::string& path,
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
       "atomic-memory-order",   "result-path-throw", "placement-determinism",
-      "header-hygiene",        "metrics-naming",    "nodiscard-result"};
+      "header-hygiene",        "metrics-naming",    "nodiscard-result",
+      "stale-suppression"};
   return kIds;
 }
 
@@ -343,9 +361,15 @@ std::vector<Finding> lint_text(const std::string& path, std::string_view text,
   };
 
   std::vector<Finding> out;
+  // (comment line, rule) pairs that actually shielded a finding, so the
+  // stale-suppression pass can tell live allow() comments from dead ones.
+  std::set<std::pair<int, std::string>> used_sups;
   const auto emit = [&](int line, const char* rule, std::string msg) {
     if (!enabled(rule)) return;
-    if (sup.allows(line, rule)) return;
+    if (sup.allows(line, rule)) {
+      used_sups.insert({sup.origin_of(line, rule), rule});
+      return;
+    }
     out.push_back({path, line, rule, std::move(msg)});
   };
 
@@ -507,6 +531,25 @@ std::vector<Finding> lint_text(const std::string& path, std::string_view text,
 
     // Bounded: giant table initializers would otherwise balloon the span.
     if (decl.size() < 4096) decl.push_back(&t);
+  }
+
+  // Stale suppressions: an allow() naming one of OUR rules that shielded
+  // nothing is dead weight (or worse, hides that the code was fixed but
+  // the comment lies).  Needs every rule's verdict, so it only runs with
+  // an empty rule filter; rule ids belonging to other tools (rds_analyze)
+  // are left alone.
+  if (opts.only_rules.empty()) {
+    std::set<std::string> ours(rule_ids().begin(), rule_ids().end());
+    ours.erase("stale-suppression");
+    for (const auto& [cline, rules] : sup.declared) {
+      for (const std::string& rule : rules) {
+        if (!ours.contains(rule)) continue;
+        if (used_sups.contains({cline, rule})) continue;
+        emit(cline, "stale-suppression",
+             "suppression 'allow(" + rule + ")' matches no " + rule +
+                 " finding; remove it");
+      }
+    }
   }
 
   std::stable_sort(out.begin(), out.end(),

@@ -16,6 +16,10 @@
 //   metrics-naming          metric family literals follow the `rds_` scheme
 //   nodiscard-result        Result-returning try_* declarations (and
 //                           pointer-swapping exchange()) are [[nodiscard]]
+//   stale-suppression       an `allow(rule)` comment naming one of the
+//                           rules above that no longer shields a finding
+//                           (only when every rule runs, i.e. an empty
+//                           --rule filter; foreign rule ids are ignored)
 //
 // Findings are suppressed per line with
 //   // rds_lint: allow(rule-id) -- reason
